@@ -1,0 +1,48 @@
+// Figure 10: what-if adoption simulation — IPv4-only dependency domains
+// enable IPv6 one at a time in descending span order; how many IPv6-partial
+// sites become IPv6-full at each step.
+#include "web/metrics.h"
+
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main() {
+  bench::section("Figure 10: cumulative sites fixed as top-span domains adopt IPv6");
+  cloud::ProviderCatalog providers;
+  auto universe = bench::make_universe(providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 42);
+  web::SpanAnalysis span(universe, survey.crawls, survey.classifications);
+
+  auto curve = span.whatif_adoption_curve();
+  const int partial = static_cast<int>(span.partial_sites().size());
+  std::printf("partial sites: %d, IPv4-only dependency domains: %zu\n",
+              partial, curve.size());
+
+  for (size_t k : {size_t{10}, size_t{50}, size_t{100}, size_t{500},
+                   size_t{1000}, size_t{5000}, size_t{10000}}) {
+    if (k > curve.size()) break;
+    std::printf("  after top %6zu domains: %7d sites full (%.1f%%)\n", k,
+                curve[k - 1], 100.0 * curve[k - 1] / partial);
+  }
+  std::printf("  after all  %6zu domains: %7d sites full (100%%)\n",
+              curve.size(), curve.back());
+
+  // The quartile crossings the paper annotates.
+  for (double q : {0.25, 0.5, 0.75}) {
+    auto target = static_cast<int>(q * partial);
+    for (size_t k = 0; k < curve.size(); ++k) {
+      if (curve[k] >= target) {
+        std::printf("  %.0f%% of partial sites fixed after %zu domains\n",
+                    q * 100, k + 1);
+        break;
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper reference: top 500 domains (3.3%%) fix >25%% of partial "
+      "sites, but full\ncoverage requires over 15,000 domains — a long "
+      "tail.\n");
+  return 0;
+}

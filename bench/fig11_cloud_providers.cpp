@@ -1,0 +1,33 @@
+// Figure 11 / Table 3: IPv6-readiness breakdown (IPv4-only / IPv6-full /
+// IPv6-only) of the top cloud providers by number of hosted domains, from
+// the FQDNs observed during the crawl, attributed via BGP + AS-to-Org.
+#include "core/cloud_analysis.h"
+
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main() {
+  bench::section("Figure 11 / Table 3: per-provider IPv6 readiness");
+  cloud::ProviderCatalog providers;
+  auto universe = bench::make_universe(providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 42);
+  auto records = core::build_domain_records(universe, survey);
+  std::printf("observed FQDN records: %zu\n", records.size());
+
+  auto rows = cloud::provider_breakdown(records, providers);
+  std::printf("%-44s %8s %9s %9s %9s\n", "Organization", "domains",
+              "IPv4-only", "IPv6-full", "IPv6-only");
+  for (const auto& r : rows) {
+    std::printf("%-44s %8d %8.1f%% %8.1f%% %8.1f%%\n", r.org.c_str(), r.total,
+                r.pct(r.v4_only), r.pct(r.v6_full), r.pct(r.v6_only));
+  }
+
+  std::printf(
+      "\nPaper reference (IPv6-full): Cloudflare 85.2%%, Google 67.7%%, "
+      "Akamai Intl 50.4%%,\nDatacamp 39.6%%, Microsoft 39.7%%, Fastly "
+      "34.3%%, Amazon 24.6%%, OVH 13.0%%,\nDigitalOcean 9.2%%, Akamai Tech "
+      "3.4%%, Incapsula 3.5%%; Bunnyway is 99.5%% IPv6-only\n(its A records "
+      "live in Datacamp's address space).\n");
+  return 0;
+}

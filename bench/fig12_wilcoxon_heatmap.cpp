@@ -1,0 +1,51 @@
+// Figure 12: pairwise comparison of cloud providers' IPv6 support over
+// shared multi-cloud tenants — two-sided Wilcoxon signed-rank tests with
+// Holm-Bonferroni correction, reported as effect sizes r with the number of
+// differing tenants in parentheses.
+#include <algorithm>
+
+#include "core/cloud_analysis.h"
+
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main() {
+  bench::section("Figure 12: pairwise Wilcoxon heatmap of provider IPv6 preference");
+  cloud::ProviderCatalog providers;
+  auto universe = bench::make_universe(providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 42);
+  auto records = core::build_domain_records(universe, survey);
+
+  cloud::MultiCloudComparison cmp(records, providers,
+                                  core::paper_org_merge_map());
+  std::printf("multi-cloud tenants: %d; orgs: %zu; pairs: %zu\n",
+              cmp.multi_cloud_tenant_count(), cmp.orgs().size(),
+              cmp.pairs().size());
+
+  // Order orgs by how often they win significant comparisons, as the
+  // paper's axes are ordered.
+  auto orgs = cmp.orgs();
+  std::sort(orgs.begin(), orgs.end(), [&](const auto& a, const auto& b) {
+    return cmp.wins(a) > cmp.wins(b);
+  });
+
+  std::printf("\norgs by significant wins:\n");
+  for (const auto& o : orgs)
+    std::printf("  %-44s wins=%d\n", o.c_str(), cmp.wins(o));
+
+  std::printf("\nsignificant pairs (Holm-Bonferroni alpha=0.05):\n");
+  for (const auto& p : cmp.pairs()) {
+    if (!p.comparable) continue;
+    std::printf("  %-34s vs %-34s r=%+.2f (n=%d)%s\n", p.org1.c_str(),
+                p.org2.c_str(), p.effect_size_r, p.differing_tenants,
+                p.significant ? "  *significant*" : "");
+  }
+
+  std::printf(
+      "\nPaper reference: 67 of 78 pairs comparable; Cloudflare and Akamai "
+      "(merged\nentities) show consistently better-than-typical IPv6 "
+      "support; Bunnyway stands out\nvia Datacamp shared hosting; smaller "
+      "traditional hosts rank lowest.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 1 (and Figure 16): CDFs of per-day IPv6 byte and flow fractions at
+// all five residences, external (solid in the paper) and internal (dashed).
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main() {
+  bench::section("Figure 1 / Figure 16: daily IPv6 fraction CDFs");
+  auto catalog = traffic::build_paper_catalog();
+  auto residences = bench::simulate_residences(catalog);
+
+  for (const auto& r : residences) {
+    for (auto scope : {flowmon::Scope::external, flowmon::Scope::internal}) {
+      for (bool by_bytes : {true, false}) {
+        auto fracs = r.monitor->daily_v6_fractions(scope, by_bytes);
+        if (fracs.empty()) continue;
+        std::string label = "Residence " + r.config.name + " " +
+                            std::string(flowmon::to_string(scope)) +
+                            (by_bytes ? " bytes" : " flows");
+        bench::print_cdf(fracs, label.c_str(), 10);
+      }
+    }
+  }
+
+  std::printf(
+      "\nShape check vs paper: byte-fraction CDFs rise near-linearly with "
+      "heavy tails;\nflow-fraction CDFs rise sharply over a narrow range "
+      "(flow mixes are stable day to day).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8: CDFs of span and median contribution for IPv4-only eTLD+1
+// domains used by IPv6-partial websites.
+#include "web/metrics.h"
+
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main() {
+  bench::section("Figure 8: span and median contribution of IPv4-only domains");
+  cloud::ProviderCatalog providers;
+  auto universe = bench::make_universe(providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 42);
+  web::SpanAnalysis span(universe, survey.crawls, survey.classifications);
+
+  std::vector<double> spans, contribs;
+  for (const auto& d : span.impacts()) {
+    spans.push_back(d.span);
+    contribs.push_back(d.median_contribution);
+  }
+  std::printf("IPv4-only dependency domains: %zu\n", spans.size());
+  bench::print_cdf(spans, "span (dependent partial sites per domain)", 10);
+  bench::print_cdf(contribs, "median contribution", 10);
+  std::printf("\nquartiles: span p75=%.0f p95=%.0f max=%.0f | contribution "
+              "p25=%.2f p50=%.2f p75=%.2f p95=%.2f\n",
+              stats::quantile(spans, .75), stats::quantile(spans, .95),
+              stats::max(spans), stats::quantile(contribs, .25),
+              stats::quantile(contribs, .5), stats::quantile(contribs, .75),
+              stats::quantile(contribs, .95));
+
+  std::printf("\nTop-10 spans:\n");
+  for (size_t i = 0; i < std::min<size_t>(10, span.impacts().size()); ++i) {
+    const auto& d = span.impacts()[i];
+    std::printf("  %-28s span=%5d median_contribution=%.2f\n",
+                d.etld1.c_str(), d.span, d.median_contribution);
+  }
+
+  std::printf(
+      "\nPaper reference: span p75=2, p95=20, a handful above 1000; "
+      "contribution p75=0.13,\np95=0.72 — most IPv4-only domains touch one "
+      "or two sites, a few are everywhere.\n");
+  return 0;
+}

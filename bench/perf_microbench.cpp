@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks for the hot substrate paths: address
+// parsing, LPM lookup, AES/CryptoPAN, DNS resolution, conntrack churn,
+// LOESS/MSTL, and Wilcoxon — the operations every experiment binary leans
+// on.
+#include <benchmark/benchmark.h>
+
+#include "dns/resolver.h"
+#include "flowmon/conntrack.h"
+#include "net/cryptopan.h"
+#include "net/lpm_trie.h"
+#include "stats/rng.h"
+#include "stats/stl.h"
+#include "stats/wilcoxon.h"
+
+namespace {
+
+using namespace nbv6;
+
+void BM_ParseIPv6(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = net::IPv6Addr::parse("2606:4700:3037::ac43:a1e5");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ParseIPv6);
+
+void BM_FormatIPv6(benchmark::State& state) {
+  auto a = *net::IPv6Addr::parse("2606:4700::6810:85e5");
+  for (auto _ : state) {
+    auto s = a.to_string();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FormatIPv6);
+
+void BM_LpmLookup(benchmark::State& state) {
+  stats::Rng rng(1);
+  net::LpmTrie4<int> trie;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    trie.insert(net::Prefix4(net::IPv4Addr(static_cast<std::uint32_t>(rng())),
+                             static_cast<int>(8 + rng.below(17))),
+                i);
+  }
+  for (auto _ : state) {
+    auto v = trie.lookup(net::IPv4Addr(static_cast<std::uint32_t>(rng())));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_LpmLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Aes128Block(benchmark::State& state) {
+  net::Aes128::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  net::Aes128 aes(key);
+  net::Aes128::Block block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_CryptoPanV4(benchmark::State& state) {
+  net::CryptoPan::Secret secret{};
+  for (size_t i = 0; i < secret.size(); ++i)
+    secret[i] = static_cast<std::uint8_t>(i * 7);
+  net::CryptoPan cp(secret);
+  std::uint32_t x = 0xC0000200;
+  for (auto _ : state) {
+    auto a = cp.anonymize(net::IPv4Addr(x++), static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_CryptoPanV4)->Arg(8)->Arg(32);
+
+void BM_DnsResolveChain(benchmark::State& state) {
+  dns::ZoneDb zone;
+  for (int i = 0; i < 10000; ++i) {
+    std::string name = "host" + std::to_string(i) + ".example.com";
+    zone.add_cname(name, "edge" + std::to_string(i) + ".cdn.net");
+    zone.add_a("edge" + std::to_string(i) + ".cdn.net",
+               net::IPv4Addr(static_cast<std::uint32_t>(i + 1)));
+  }
+  dns::Resolver resolver(zone);
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    auto r = resolver.resolve_a("host" + std::to_string(rng.below(10000)) +
+                                ".example.com");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DnsResolveChain);
+
+void BM_ConntrackChurn(benchmark::State& state) {
+  flowmon::ConntrackTable table;
+  stats::Rng rng(3);
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    net::FlowKey k;
+    k.src = net::IPv4Addr(192, 168, 1, 10);
+    k.dst = net::IPv4Addr(static_cast<std::uint32_t>(rng()));
+    k.src_port = ++port;
+    k.dst_port = 443;
+    table.open(k, 0, flowmon::Scope::external);
+    table.account(k, 0, 1000, 50000);
+    table.close(k, 10);
+  }
+}
+BENCHMARK(BM_ConntrackChurn);
+
+void BM_MstlDecompose(benchmark::State& state) {
+  stats::Rng rng(4);
+  std::vector<double> ys(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < ys.size(); ++i)
+    ys[i] = 0.5 + 0.2 * std::sin(2 * 3.14159 * static_cast<double>(i) / 24.0) +
+            rng.normal(0, 0.05);
+  stats::MstlConfig cfg;
+  cfg.periods = {24, 168};
+  for (auto _ : state) {
+    auto r = stats::mstl_decompose(ys, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MstlDecompose)->Arg(24 * 30)->Arg(24 * 90)->Unit(benchmark::kMillisecond);
+
+void BM_WilcoxonExact(benchmark::State& state) {
+  std::vector<double> d;
+  for (int i = 1; i <= 25; ++i) d.push_back(i % 3 == 0 ? -i : i);
+  for (auto _ : state) {
+    auto r = stats::wilcoxon_signed_rank(d);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WilcoxonExact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// cloud_comparison: compare cloud providers' effective IPv6 support over
+// your own multi-cloud estate — the §5 methodology as a standalone tool.
+//
+// Hand-authors a fleet of tenants whose subdomains are split across
+// providers (the paper's apnic.net example writ large), attributes each by
+// BGP origin, and runs the Wilcoxon/Holm comparison to ask: for the SAME
+// tenant, which provider ends up serving IPv6 more often?
+//
+//   ./build/examples/cloud_comparison
+#include <cstdio>
+
+#include "cloud/analysis.h"
+#include "cloud/providers.h"
+#include "stats/rng.h"
+
+using namespace nbv6;
+
+int main() {
+  cloud::ProviderCatalog catalog;
+  stats::Rng rng(77);
+
+  auto cloudflare = *catalog.find("Cloudflare, Inc.");
+  auto amazon = *catalog.find("Amazon.com, Inc.");
+  auto ovh = *catalog.find("OVH SAS");
+
+  // 60 tenants, each with subdomains on two providers. Whether a given
+  // subdomain is IPv6-full follows each provider's real-world tenant rate
+  // (the generic_v6_rate calibrated from the paper's Table 3).
+  std::vector<cloud::DomainRecord> records;
+  std::uint32_t id = 1;
+  auto add_subdomain = [&](const std::string& etld1, const char* label,
+                           size_t provider) {
+    cloud::DomainRecord r;
+    r.fqdn = std::string(label) + "." + etld1;
+    r.etld1 = etld1;
+    r.cname_terminal = r.fqdn;
+    r.a_addr = net::IpAddr{catalog.v4_address(provider, id)};
+    if (rng.chance(catalog.at(provider).generic_v6_rate))
+      r.aaaa_addr = net::IpAddr{catalog.v6_address(provider, id)};
+    ++id;
+    records.push_back(std::move(r));
+  };
+
+  for (int t = 0; t < 60; ++t) {
+    std::string etld1 = "tenant" + std::to_string(t) + ".com";
+    size_t second = t % 2 == 0 ? amazon : ovh;
+    add_subdomain(etld1, "www", cloudflare);
+    add_subdomain(etld1, "cdn", cloudflare);
+    add_subdomain(etld1, "api", second);
+    add_subdomain(etld1, "files", second);
+  }
+
+  // Per-provider view of the estate.
+  std::printf("estate attribution (by BGP origin of each record):\n");
+  for (const auto& row : cloud::provider_breakdown(records, catalog)) {
+    std::printf("  %-40s %4d domains: %5.1f%% IPv6-full, %5.1f%% IPv4-only\n",
+                row.org.c_str(), row.total, row.pct(row.v6_full),
+                row.pct(row.v4_only));
+  }
+
+  // Paired comparison: same tenants, different clouds.
+  cloud::MultiCloudComparison cmp(records, catalog);
+  std::printf("\npaired Wilcoxon comparisons over %d multi-cloud tenants:\n",
+              cmp.multi_cloud_tenant_count());
+  for (const auto& p : cmp.pairs()) {
+    if (!p.comparable) continue;
+    const char* verdict = !p.significant ? "not significant"
+                          : p.effect_size_r > 0
+                              ? "first provider more IPv6"
+                              : "second provider more IPv6";
+    std::printf("  %-24s vs %-24s r=%+.2f p=%.2g (n=%d) -> %s\n",
+                p.org1.c_str(), p.org2.c_str(), p.effect_size_r, p.p_value,
+                p.differing_tenants, verdict);
+  }
+
+  std::printf(
+      "\nInterpretation: with tenant intent held constant, provider "
+      "defaults decide\nIPv6 presence — the paper's argument for default-on, "
+      "no-code-change IPv6.\n");
+  return 0;
+}

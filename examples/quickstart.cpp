@@ -1,0 +1,72 @@
+// Quickstart: the non-binary IPv6 adoption API in five minutes.
+//
+// Builds a small synthetic web universe, surveys it, and prints graded
+// adoption results at all three of the paper's levels — then demonstrates
+// the CryptoPAN anonymizer used by the client-side release pipeline.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/adoption.h"
+#include "core/cloud_analysis.h"
+#include "core/server_analysis.h"
+#include "net/cryptopan.h"
+#include "web/universe.h"
+
+using namespace nbv6;
+
+int main() {
+  // 1. A synthetic top-list web universe (5k sites to stay snappy).
+  cloud::ProviderCatalog providers;
+  web::UniverseConfig config;
+  config.site_count = 5000;
+  web::Universe universe(config, providers);
+
+  // 2. Crawl and classify every site, exactly as §4 of the paper does:
+  // main page + five same-site link clicks, resource-level DNS checks.
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 1);
+  const auto& c = survey.counts;
+  std::printf("surveyed %d sites: %d reachable\n", c.total,
+              c.connection_success);
+  std::printf("  IPv4-only:    %5d (%.1f%%)\n", c.ipv4_only,
+              c.pct_of_success(c.ipv4_only));
+  std::printf("  IPv6-partial: %5d (%.1f%%)\n", c.ipv6_partial,
+              c.pct_of_success(c.ipv6_partial));
+  std::printf("  IPv6-full:    %5d (%.1f%%)\n", c.ipv6_full,
+              c.pct_of_success(c.ipv6_full));
+
+  // 3. The graded (non-binary) view of one site.
+  for (size_t i = 0; i < survey.classifications.size(); ++i) {
+    const auto& cls = survey.classifications[i];
+    if (cls.cls != web::SiteClass::ipv6_partial) continue;
+    auto graded = core::GradedAdoption::from_fraction(1.0 - cls.v4only_fraction);
+    std::printf(
+        "\nexample partial site: %s — %.0f%% of its %d resources are "
+        "IPv6-capable\n  graded level: %s\n",
+        universe.fqdns()[universe.sites()[survey.crawls[i].site_index].main_fqdn]
+            .name.c_str(),
+        100.0 * graded.fraction, cls.total_resources,
+        std::string(to_string(graded.level)).c_str());
+    break;
+  }
+
+  // 4. Cloud attribution of everything the crawl touched.
+  auto report = core::analyze_cloud(universe, survey);
+  std::printf("\ntop cloud providers by observed domains:\n");
+  for (size_t i = 0; i < std::min<size_t>(4, report.providers.size()); ++i) {
+    const auto& row = report.providers[i];
+    std::printf("  %-40s %6d domains, %.1f%% IPv6-full\n", row.org.c_str(),
+                row.total, row.pct(row.v6_full));
+  }
+
+  // 5. Prefix-preserving anonymization (the §A release pipeline).
+  net::CryptoPan::Secret secret{};
+  for (size_t i = 0; i < secret.size(); ++i)
+    secret[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+  net::CryptoPan cryptopan(secret);
+  auto original = *net::IpAddr::parse("203.0.113.77");
+  auto anonymized = cryptopan.anonymize_paper_policy(original);
+  std::printf("\nCryptoPAN (paper policy, low 8 bits): %s -> %s\n",
+              original.to_string().c_str(), anonymized.to_string().c_str());
+  return 0;
+}

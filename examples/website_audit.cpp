@@ -1,0 +1,103 @@
+// website_audit: grade a website's IPv6 readiness from its DNS footprint —
+// the §4 classifier as a standalone tool over a hand-authored zone.
+//
+// Models "shop.example.com": the main page is dual-stack, most resources
+// are IPv6-capable, but an ad network and a legacy first-party image host
+// are A-only. The audit reports the graded level and the exact blockers,
+// i.e. what the site operator would need fixed to reach IPv6-full.
+//
+//   ./build/examples/website_audit
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/adoption.h"
+#include "dns/resolver.h"
+#include "dns/zone.h"
+#include "web/psl.h"
+
+using namespace nbv6;
+
+namespace {
+
+net::IPv4Addr v4(std::uint8_t x) { return net::IPv4Addr(198, 51, 100, x); }
+net::IPv6Addr v6(std::uint64_t x) {
+  return net::IPv6Addr::from_halves(0x20010db8ull << 32, x);
+}
+
+}  // namespace
+
+int main() {
+  // The site's DNS footprint: what a crawler would resolve while loading
+  // the page. In a live deployment this zone view would be replaced by
+  // real lookups; every analysis below works purely on the resolver API.
+  dns::ZoneDb zone;
+  zone.add_a("shop.example.com", v4(1));
+  zone.add_aaaa("shop.example.com", v6(1));
+
+  struct Dep {
+    const char* fqdn;
+    bool has_aaaa;
+  };
+  std::vector<Dep> deps = {
+      {"static.example.com", true},     // first-party CDN: dual-stack
+      {"img-legacy.example.com", false},// first-party laggard (the paper's
+                                        // assets.national-geographic.org)
+      {"cdn.webfonts.net", true},
+      {"api.payments.io", true},
+      {"tags.adnetwork.com", false},    // third-party ad stack, A-only
+      {"px.tracker-one.net", false},
+  };
+  for (const auto& d : deps) {
+    static std::uint8_t next = 10;
+    zone.add_a(d.fqdn, v4(next));
+    if (d.has_aaaa) zone.add_aaaa(d.fqdn, v6(next));
+    ++next;
+  }
+
+  dns::Resolver resolver(zone);
+  auto psl = web::PublicSuffixList::builtin();
+  const std::string site = "shop.example.com";
+
+  auto main_page = resolver.resolve_dual(site);
+  if (!main_page.reachable()) {
+    std::printf("%s: loading failure\n", site.c_str());
+    return 1;
+  }
+  if (!main_page.has_v6()) {
+    std::printf("%s: IPv4-only — publish an AAAA for the main page first.\n",
+                site.c_str());
+    return 0;
+  }
+
+  int total = 0, v4only = 0;
+  std::vector<std::string> first_party_blockers, third_party_blockers;
+  for (const auto& d : deps) {
+    auto dual = resolver.resolve_dual(d.fqdn);
+    if (!dual.reachable()) continue;
+    ++total;
+    if (dual.has_v6()) continue;
+    ++v4only;
+    (psl.same_site(d.fqdn, site) ? first_party_blockers
+                                 : third_party_blockers)
+        .emplace_back(d.fqdn);
+  }
+
+  auto graded = core::GradedAdoption::from_fraction(
+      total == 0 ? 1.0 : 1.0 - static_cast<double>(v4only) / total);
+  std::printf("%s: %s — %.0f%% of %d resources IPv6-capable\n", site.c_str(),
+              std::string(to_string(graded.level)).c_str(),
+              100 * graded.fraction, total);
+
+  if (!first_party_blockers.empty()) {
+    std::printf("\nfix yourself (first-party, you run these servers):\n");
+    for (const auto& b : first_party_blockers)
+      std::printf("  %s\n", b.c_str());
+  }
+  if (!third_party_blockers.empty()) {
+    std::printf("\nchase your vendors (third-party):\n");
+    for (const auto& b : third_party_blockers)
+      std::printf("  %s\n", b.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "core/adoption.h"
+
+namespace nbv6::core {
+
+std::string_view to_string(AdoptionLevel level) {
+  switch (level) {
+    case AdoptionLevel::none:
+      return "IPv4-only";
+    case AdoptionLevel::partial:
+      return "IPv6-partial";
+    case AdoptionLevel::full:
+      return "IPv6-full";
+  }
+  return "?";
+}
+
+GradedAdoption GradedAdoption::from_fraction(double f) {
+  GradedAdoption g;
+  g.fraction = f;
+  if (f <= 0.0)
+    g.level = AdoptionLevel::none;
+  else if (f >= 1.0)
+    g.level = AdoptionLevel::full;
+  else
+    g.level = AdoptionLevel::partial;
+  return g;
+}
+
+}  // namespace nbv6::core

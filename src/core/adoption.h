@@ -1,0 +1,36 @@
+// The paper's central abstraction: non-binary (graded) IPv6 adoption.
+//
+// Instead of the binary "can X do IPv6?", every entity in the ecosystem
+// gets a grade: how much of its activity/assets actually are IPv6. One
+// taxonomy serves all three perspectives — a client's traffic fraction, a
+// website's resource coverage, a cloud tenant population's readiness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nbv6::core {
+
+/// Discrete adoption levels (the §4 website taxonomy, reused generally).
+enum class AdoptionLevel : std::uint8_t {
+  none,     ///< no IPv6 at all (IPv4-only)
+  partial,  ///< some activity/assets on IPv6, some IPv4-only
+  full,     ///< everything available over IPv6
+};
+
+std::string_view to_string(AdoptionLevel level);
+
+/// A graded measurement: the continuous fraction plus the discrete level
+/// derived from it.
+struct GradedAdoption {
+  /// Fraction of activity (bytes, flows, resources, tenants) on IPv6.
+  double fraction = 0.0;
+  AdoptionLevel level = AdoptionLevel::none;
+
+  /// Derive the level from a fraction with exact-boundary semantics:
+  /// 0 -> none, 1 -> full, otherwise partial.
+  static GradedAdoption from_fraction(double f);
+};
+
+}  // namespace nbv6::core

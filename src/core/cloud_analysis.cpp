@@ -1,0 +1,38 @@
+#include "core/cloud_analysis.h"
+
+#include "dns/resolver.h"
+
+namespace nbv6::core {
+
+std::vector<cloud::DomainRecord> build_domain_records(
+    const web::Universe& universe, const ServerSurvey& survey) {
+  auto names = observed_fqdn_names(universe, survey);
+  auto zone = universe.build_zone(survey.epoch);
+  dns::Resolver resolver(zone);
+  const auto& psl = universe.psl();
+  return cloud::collect_domain_records(
+      resolver, names, [&psl](std::string_view host) {
+        return psl.registrable_domain(host).value_or(std::string(host));
+      });
+}
+
+std::map<std::string, std::string> paper_org_merge_map() {
+  return {
+      {"Cloudflare, Inc.", "Cloudflare (All)"},
+      {"Cloudflare London, LLC", "Cloudflare (All)"},
+      {"Akamai International B.V.", "Akamai (All)"},
+      {"Akamai Technologies, Inc.", "Akamai (All)"},
+  };
+}
+
+CloudReport analyze_cloud(const web::Universe& universe,
+                          const ServerSurvey& survey) {
+  auto records = build_domain_records(universe, survey);
+  CloudReport report;
+  report.providers =
+      cloud::provider_breakdown(records, universe.providers());
+  report.services = cloud::service_breakdown(records, universe.providers());
+  return report;
+}
+
+}  // namespace nbv6::core

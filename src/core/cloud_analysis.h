@@ -1,0 +1,32 @@
+// Cloud-side adoption analysis (§5): glue from a server survey's observed
+// FQDNs to the cloud attribution pipeline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/analysis.h"
+#include "core/server_analysis.h"
+#include "web/universe.h"
+
+namespace nbv6::core {
+
+/// Resolve every FQDN a survey observed and build cloud DomainRecords
+/// (addresses, CNAME terminals, eTLD+1 via the universe's PSL).
+std::vector<cloud::DomainRecord> build_domain_records(
+    const web::Universe& universe, const ServerSurvey& survey);
+
+/// The paper's merged-entity map for Fig. 12 ("Cloudflare (All)",
+/// "Akamai (All)").
+std::map<std::string, std::string> paper_org_merge_map();
+
+struct CloudReport {
+  std::vector<cloud::ProviderBreakdownRow> providers;   ///< Table 3 / Fig. 11
+  std::vector<cloud::ServiceAdoptionRow> services;      ///< Table 2
+};
+
+CloudReport analyze_cloud(const web::Universe& universe,
+                          const ServerSurvey& survey);
+
+}  // namespace nbv6::core

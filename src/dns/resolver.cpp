@@ -1,0 +1,64 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+
+namespace nbv6::dns {
+
+std::string_view to_string(ResolveStatus s) {
+  switch (s) {
+    case ResolveStatus::ok:
+      return "ok";
+    case ResolveStatus::nodata:
+      return "nodata";
+    case ResolveStatus::nxdomain:
+      return "nxdomain";
+    case ResolveStatus::cname_loop:
+      return "cname_loop";
+  }
+  return "?";
+}
+
+ResolveResult Resolver::resolve(std::string_view name,
+                                net::Family family) const {
+  ResolveResult r;
+  std::string current = canonicalize(name);
+  r.chain.push_back(current);
+
+  for (int hop = 0; hop <= kMaxChain; ++hop) {
+    if (!db_->exists(current)) {
+      r.status = ResolveStatus::nxdomain;
+      return r;
+    }
+    std::string target = db_->cname(current);
+    if (!target.empty()) {
+      // Loop detection: a repeated name means the chain cycles.
+      if (std::find(r.chain.begin(), r.chain.end(), target) != r.chain.end()) {
+        r.status = ResolveStatus::cname_loop;
+        return r;
+      }
+      current = target;
+      r.chain.push_back(current);
+      continue;
+    }
+    // Terminal name: collect addresses of the requested family.
+    if (family == net::Family::v4) {
+      for (auto a : db_->a_records(current)) r.addresses.emplace_back(a);
+    } else {
+      for (const auto& a : db_->aaaa_records(current))
+        r.addresses.emplace_back(a);
+    }
+    r.status = r.addresses.empty() ? ResolveStatus::nodata : ResolveStatus::ok;
+    return r;
+  }
+  r.status = ResolveStatus::cname_loop;
+  return r;
+}
+
+Resolver::DualStack Resolver::resolve_dual(std::string_view name) const {
+  DualStack d;
+  d.v4 = resolve(name, net::Family::v4);
+  d.v6 = resolve(name, net::Family::v6);
+  return d;
+}
+
+}  // namespace nbv6::dns

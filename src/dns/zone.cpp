@@ -1,0 +1,93 @@
+#include "dns/zone.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nbv6::dns {
+
+std::string_view to_string(RecordType t) {
+  switch (t) {
+    case RecordType::a:
+      return "A";
+    case RecordType::aaaa:
+      return "AAAA";
+    case RecordType::cname:
+      return "CNAME";
+  }
+  return "?";
+}
+
+std::string canonicalize(std::string_view name) {
+  if (!name.empty() && name.back() == '.') name.remove_suffix(1);
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool ZoneDb::add_a(std::string_view name, net::IPv4Addr addr) {
+  auto& e = entries_[canonicalize(name)];
+  if (!e.cname.empty()) return false;
+  if (std::find(e.a.begin(), e.a.end(), addr) == e.a.end()) e.a.push_back(addr);
+  return true;
+}
+
+bool ZoneDb::add_aaaa(std::string_view name, net::IPv6Addr addr) {
+  auto& e = entries_[canonicalize(name)];
+  if (!e.cname.empty()) return false;
+  if (std::find(e.aaaa.begin(), e.aaaa.end(), addr) == e.aaaa.end())
+    e.aaaa.push_back(addr);
+  return true;
+}
+
+bool ZoneDb::add_cname(std::string_view name, std::string_view target) {
+  auto canon = canonicalize(name);
+  auto& e = entries_[canon];
+  if (!e.a.empty() || !e.aaaa.empty()) return false;
+  if (!e.cname.empty() && e.cname != canonicalize(target)) return false;
+  e.cname = canonicalize(target);
+  return true;
+}
+
+size_t ZoneDb::remove(std::string_view name, RecordType type) {
+  auto it = entries_.find(canonicalize(name));
+  if (it == entries_.end()) return 0;
+  size_t removed = 0;
+  switch (type) {
+    case RecordType::a:
+      removed = it->second.a.size();
+      it->second.a.clear();
+      break;
+    case RecordType::aaaa:
+      removed = it->second.aaaa.size();
+      it->second.aaaa.clear();
+      break;
+    case RecordType::cname:
+      removed = it->second.cname.empty() ? 0 : 1;
+      it->second.cname.clear();
+      break;
+  }
+  if (it->second.empty()) entries_.erase(it);
+  return removed;
+}
+
+std::vector<net::IPv4Addr> ZoneDb::a_records(std::string_view name) const {
+  auto it = entries_.find(canonicalize(name));
+  return it == entries_.end() ? std::vector<net::IPv4Addr>{} : it->second.a;
+}
+
+std::vector<net::IPv6Addr> ZoneDb::aaaa_records(std::string_view name) const {
+  auto it = entries_.find(canonicalize(name));
+  return it == entries_.end() ? std::vector<net::IPv6Addr>{} : it->second.aaaa;
+}
+
+std::string ZoneDb::cname(std::string_view name) const {
+  auto it = entries_.find(canonicalize(name));
+  return it == entries_.end() ? std::string{} : it->second.cname;
+}
+
+bool ZoneDb::exists(std::string_view name) const {
+  return entries_.contains(canonicalize(name));
+}
+
+}  // namespace nbv6::dns

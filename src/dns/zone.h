@@ -1,0 +1,70 @@
+// In-memory DNS zone database.
+//
+// The synthetic stand-in for the live DNS the paper's crawler queries: the
+// web universe (web/universe.h) registers A, AAAA, and CNAME records here,
+// and the crawler + cloud analyses resolve against it. Names are normalized
+// to lowercase without a trailing dot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace nbv6::dns {
+
+enum class RecordType : std::uint8_t { a, aaaa, cname };
+
+std::string_view to_string(RecordType t);
+
+/// Lowercase, strip one trailing dot. DNS names in this codebase are always
+/// stored in this canonical form.
+std::string canonicalize(std::string_view name);
+
+/// A zone database mapping owner names to records. Multiple A/AAAA records
+/// per name are allowed (round-robin sets); at most one CNAME per name, and
+/// a name with a CNAME may hold no other records (RFC 1034 §3.6.2).
+class ZoneDb {
+ public:
+  /// All three add more-or-less what you expect; each returns false (and
+  /// changes nothing) when the RFC 1034 CNAME-exclusivity rule would be
+  /// violated.
+  bool add_a(std::string_view name, net::IPv4Addr addr);
+  bool add_aaaa(std::string_view name, net::IPv6Addr addr);
+  bool add_cname(std::string_view name, std::string_view target);
+
+  /// Remove every record of `type` at `name`. Returns number removed.
+  size_t remove(std::string_view name, RecordType type);
+
+  [[nodiscard]] std::vector<net::IPv4Addr> a_records(std::string_view name) const;
+  [[nodiscard]] std::vector<net::IPv6Addr> aaaa_records(std::string_view name) const;
+  /// CNAME target, or empty string if none.
+  [[nodiscard]] std::string cname(std::string_view name) const;
+
+  /// True when the name owns any record at all.
+  [[nodiscard]] bool exists(std::string_view name) const;
+
+  [[nodiscard]] size_t name_count() const { return entries_.size(); }
+
+  /// Visit every name in the database (canonical form, sorted).
+  template <typename Fn>
+  void for_each_name(Fn&& fn) const {
+    for (const auto& [name, entry] : entries_) fn(name);
+  }
+
+ private:
+  struct Entry {
+    std::vector<net::IPv4Addr> a;
+    std::vector<net::IPv6Addr> aaaa;
+    std::string cname;  // empty = none
+    [[nodiscard]] bool empty() const {
+      return a.empty() && aaaa.empty() && cname.empty();
+    }
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace nbv6::dns

@@ -1,0 +1,74 @@
+#include "flowmon/conntrack.h"
+
+namespace nbv6::flowmon {
+
+void ConntrackTable::open(const net::FlowKey& key, Timestamp now, Scope scope) {
+  auto [it, inserted] = live_.try_emplace(key);
+  if (!inserted) return;
+  it->second.record.key = key;
+  it->second.record.start = now;
+  it->second.record.scope = scope;
+  it->second.last_activity = now;
+  for (const auto& l : listeners_)
+    if (l.on_new) l.on_new(key, now);
+}
+
+bool ConntrackTable::account(const net::FlowKey& key, Timestamp now,
+                             std::uint64_t bytes_out, std::uint64_t bytes_in,
+                             std::uint64_t pkts_out, std::uint64_t pkts_in,
+                             Scope scope) {
+  auto it = live_.find(key);
+  bool known = it != live_.end();
+  if (!known) {
+    open(key, now, scope);
+    it = live_.find(key);
+  }
+  auto& rec = it->second.record;
+  rec.bytes_out += bytes_out;
+  rec.bytes_in += bytes_in;
+  // When the caller doesn't model packets, approximate one packet per
+  // 1400 bytes (full-ish MTU) so packet counters stay plausible.
+  rec.packets_out += pkts_out > 0 ? pkts_out : (bytes_out + 1399) / 1400;
+  rec.packets_in += pkts_in > 0 ? pkts_in : (bytes_in + 1399) / 1400;
+  it->second.last_activity = now;
+  return known;
+}
+
+bool ConntrackTable::close(const net::FlowKey& key, Timestamp now) {
+  auto it = live_.find(key);
+  if (it == live_.end()) return false;
+  it->second.record.end = now;
+  emit_destroy(it->second.record);
+  live_.erase(it);
+  return true;
+}
+
+size_t ConntrackTable::sweep(Timestamp now) {
+  size_t evicted = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (now - it->second.last_activity >= idle_timeout_) {
+      it->second.record.end = it->second.last_activity;
+      emit_destroy(it->second.record);
+      it = live_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void ConntrackTable::flush(Timestamp now) {
+  for (auto& [key, live] : live_) {
+    live.record.end = now;
+    emit_destroy(live.record);
+  }
+  live_.clear();
+}
+
+void ConntrackTable::emit_destroy(const FlowRecord& r) {
+  for (const auto& l : listeners_)
+    if (l.on_destroy) l.on_destroy(r);
+}
+
+}  // namespace nbv6::flowmon

@@ -1,0 +1,156 @@
+#include "flowmon/export.h"
+
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace nbv6::flowmon {
+namespace {
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+std::optional<T> parse_num(std::string_view s) {
+  T v{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<net::Protocol> parse_proto(std::string_view s) {
+  if (s == "tcp") return net::Protocol::tcp;
+  if (s == "udp") return net::Protocol::udp;
+  if (s == "icmp") return net::Protocol::icmp;
+  return std::nullopt;
+}
+
+}  // namespace
+
+FlowRecord anonymize(const FlowRecord& record, const net::CryptoPan& cpan) {
+  FlowRecord out = record;
+  out.key.src = cpan.anonymize_paper_policy(record.key.src);
+  out.key.dst = cpan.anonymize_paper_policy(record.key.dst);
+  return out;
+}
+
+std::string serialize(const FlowRecord& r) {
+  std::ostringstream out;
+  out << net::to_string(r.key.protocol) << '\t' << r.key.src.to_string()
+      << '\t' << r.key.src_port << '\t' << r.key.dst.to_string() << '\t'
+      << r.key.dst_port << '\t' << r.start << '\t' << r.end << '\t'
+      << r.bytes_out << '\t' << r.bytes_in << '\t' << r.packets_out << '\t'
+      << r.packets_in << '\t'
+      << (r.scope == Scope::external ? "external" : "internal");
+  return out.str();
+}
+
+std::optional<FlowRecord> deserialize(std::string_view line) {
+  auto f = split_tabs(line);
+  if (f.size() != 12) return std::nullopt;
+
+  FlowRecord r;
+  auto proto = parse_proto(f[0]);
+  auto src = net::IpAddr::parse(f[1]);
+  auto sport = parse_num<std::uint16_t>(f[2]);
+  auto dst = net::IpAddr::parse(f[3]);
+  auto dport = parse_num<std::uint16_t>(f[4]);
+  auto start = parse_num<Timestamp>(f[5]);
+  auto end = parse_num<Timestamp>(f[6]);
+  auto bytes_out = parse_num<std::uint64_t>(f[7]);
+  auto bytes_in = parse_num<std::uint64_t>(f[8]);
+  auto pkts_out = parse_num<std::uint64_t>(f[9]);
+  auto pkts_in = parse_num<std::uint64_t>(f[10]);
+  if (!proto || !src || !sport || !dst || !dport || !start || !end ||
+      !bytes_out || !bytes_in || !pkts_out || !pkts_in) {
+    return std::nullopt;
+  }
+  if (f[11] == "external")
+    r.scope = Scope::external;
+  else if (f[11] == "internal")
+    r.scope = Scope::internal;
+  else
+    return std::nullopt;
+  // Mixed-family flows don't exist; reject them at the wire.
+  if (src->family() != dst->family()) return std::nullopt;
+
+  r.key.protocol = *proto;
+  r.key.src = *src;
+  r.key.src_port = *sport;
+  r.key.dst = *dst;
+  r.key.dst_port = *dport;
+  r.start = *start;
+  r.end = *end;
+  r.bytes_out = *bytes_out;
+  r.bytes_in = *bytes_in;
+  r.packets_out = *pkts_out;
+  r.packets_in = *pkts_in;
+  return r;
+}
+
+void Exporter::add(const FlowRecord& record) {
+  queue_[record.day()].push_back(record);
+}
+
+DailyExport Exporter::flush_day(int day) {
+  DailyExport batch;
+  batch.day = day;
+  auto it = queue_.find(day);
+  if (it == queue_.end()) return batch;
+  batch.records.reserve(it->second.size());
+  for (const auto& r : it->second) batch.records.push_back(anonymize(r, cpan_));
+  queue_.erase(it);
+  return batch;
+}
+
+std::vector<int> Exporter::pending_days() const {
+  std::vector<int> days;
+  days.reserve(queue_.size());
+  for (const auto& [day, _] : queue_) days.push_back(day);
+  return days;
+}
+
+size_t Exporter::pending_records() const {
+  size_t n = 0;
+  for (const auto& [_, records] : queue_) n += records.size();
+  return n;
+}
+
+void Exporter::write(std::ostream& out, const DailyExport& batch) {
+  out << "# day " << batch.day << '\n';
+  for (const auto& r : batch.records) out << serialize(r) << '\n';
+}
+
+std::optional<DailyExport> Exporter::read(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  DailyExport batch;
+  if (line.rfind("# day ", 0) != 0) return std::nullopt;
+  auto day = parse_num<int>(std::string_view(line).substr(6));
+  if (!day) return std::nullopt;
+  batch.day = *day;
+  while (in.peek() != '#' && std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto r = deserialize(line);
+    if (!r) return std::nullopt;
+    batch.records.push_back(*r);
+  }
+  return batch;
+}
+
+}  // namespace nbv6::flowmon

@@ -1,0 +1,130 @@
+// FlowMonitor: the router-side aggregation the paper's measurement runs on.
+//
+// Subscribes to a ConntrackTable and incrementally maintains exactly the
+// aggregates §3 reports on:
+//   - per-(day, scope, family) byte and flow tallies (Table 1, Fig. 1),
+//   - per-(hour, family) external tallies (the MSTL series of Fig. 2),
+//   - per-destination-address external tallies (the AS- and domain-level
+//     service analysis of §3.4, Figs. 3/4/17).
+//
+// Aggregation is streaming: the monitor never retains raw flow records
+// unless asked (tests do), mirroring the privacy posture of the real
+// deployment where only flow summaries leave the router.
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "flowmon/conntrack.h"
+#include "flowmon/flow_record.h"
+#include "net/ip.h"
+
+namespace nbv6::flowmon {
+
+/// Byte and flow counters for one (family) cell.
+struct Tally {
+  std::uint64_t bytes = 0;
+  std::uint64_t flows = 0;
+
+  Tally& operator+=(const Tally& o) {
+    bytes += o.bytes;
+    flows += o.flows;
+    return *this;
+  }
+};
+
+/// v4/v6 split of a tally with the fraction helpers every table needs.
+struct FamilySplit {
+  Tally v4;
+  Tally v6;
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return v4.bytes + v6.bytes; }
+  [[nodiscard]] std::uint64_t total_flows() const { return v4.flows + v6.flows; }
+  /// Fraction of bytes that are IPv6; nullopt-like -1 when no traffic.
+  [[nodiscard]] double v6_byte_fraction() const {
+    auto t = total_bytes();
+    return t == 0 ? -1.0 : static_cast<double>(v6.bytes) / static_cast<double>(t);
+  }
+  [[nodiscard]] double v6_flow_fraction() const {
+    auto t = total_flows();
+    return t == 0 ? -1.0 : static_cast<double>(v6.flows) / static_cast<double>(t);
+  }
+
+  FamilySplit& operator+=(const FamilySplit& o) {
+    v4 += o.v4;
+    v6 += o.v6;
+    return *this;
+  }
+};
+
+/// Per-destination tally; family is implied by the address.
+struct DestTally {
+  net::IpAddr addr;
+  Tally tally;
+};
+
+class FlowMonitor {
+ public:
+  /// Wires the monitor into `table`. `retain_records` keeps every record
+  /// (tests and small runs only).
+  explicit FlowMonitor(ConntrackTable& table, bool retain_records = false);
+
+  // --- aggregate views -----------------------------------------------
+
+  /// Overall totals for one scope.
+  [[nodiscard]] const FamilySplit& totals(Scope s) const {
+    return totals_[index(s)];
+  }
+
+  /// Day-indexed series for one scope (sorted by day).
+  [[nodiscard]] const std::map<int, FamilySplit>& daily(Scope s) const {
+    return daily_[index(s)];
+  }
+
+  /// Daily IPv6 fractions for one scope, skipping empty days. `by_bytes`
+  /// selects byte- vs flow-fractions. This is the Figure 1 series and the
+  /// "daily mean (s.d.)" column of Table 1.
+  [[nodiscard]] std::vector<double> daily_v6_fractions(Scope s,
+                                                       bool by_bytes) const;
+
+  /// Hour-indexed external series (hour = absolute hour since epoch).
+  [[nodiscard]] const std::map<int, FamilySplit>& hourly_external() const {
+    return hourly_external_;
+  }
+
+  /// Hourly external IPv6 fraction series over [first, last] hours present,
+  /// with gaps filled by carrying the previous value (MSTL needs a regular
+  /// series). Empty when no external traffic.
+  [[nodiscard]] std::vector<double> hourly_v6_fraction_series(
+      bool by_bytes) const;
+
+  /// Per-destination external tallies (unordered).
+  [[nodiscard]] std::vector<DestTally> destination_tallies() const;
+
+  /// Total external traffic bytes (both families).
+  [[nodiscard]] std::uint64_t external_bytes() const {
+    return totals(Scope::external).total_bytes();
+  }
+
+  [[nodiscard]] const std::vector<FlowRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t new_events() const { return new_events_; }
+  [[nodiscard]] std::uint64_t destroy_events() const { return destroy_events_; }
+
+ private:
+  static size_t index(Scope s) { return s == Scope::external ? 0 : 1; }
+  void ingest(const FlowRecord& r);
+
+  bool retain_records_;
+  std::array<FamilySplit, 2> totals_{};
+  std::array<std::map<int, FamilySplit>, 2> daily_{};
+  std::map<int, FamilySplit> hourly_external_;
+  std::map<net::IpAddr, Tally> dest_external_;
+  std::vector<FlowRecord> records_;
+  std::uint64_t new_events_ = 0;
+  std::uint64_t destroy_events_ = 0;
+};
+
+}  // namespace nbv6::flowmon

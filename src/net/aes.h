@@ -1,0 +1,31 @@
+// AES-128 block encryption, from scratch.
+//
+// Present solely as the pseudo-random function inside CryptoPAN
+// (net/cryptopan.h), the prefix-preserving address anonymizer the paper's
+// release pipeline uses (§A). Encryption-only (CryptoPAN never decrypts),
+// single block, no modes; constant-time behaviour is NOT a goal here — this
+// anonymizes research data offline, it is not a TLS stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nbv6::net {
+
+/// AES-128 in encrypt-only form.
+class Aes128 {
+ public:
+  using Block = std::array<std::uint8_t, 16>;
+  using Key = std::array<std::uint8_t, 16>;
+
+  explicit Aes128(const Key& key);
+
+  /// Encrypt one 16-byte block (ECB, single block).
+  [[nodiscard]] Block encrypt(const Block& plaintext) const;
+
+ private:
+  // 11 round keys of 16 bytes each (AES-128 = 10 rounds + initial).
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace nbv6::net

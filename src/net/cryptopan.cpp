@@ -1,0 +1,87 @@
+#include "net/cryptopan.h"
+
+#include <cassert>
+
+namespace nbv6::net {
+namespace {
+
+// Copies bit i (MSB-first within the 16-byte block) of src into dst.
+void set_bit(Aes128::Block& b, int i, bool v) {
+  auto byte = static_cast<size_t>(i / 8);
+  int shift = 7 - i % 8;
+  if (v)
+    b[byte] |= static_cast<std::uint8_t>(1u << shift);
+  else
+    b[byte] &= static_cast<std::uint8_t>(~(1u << shift));
+}
+
+bool get_bit(const Aes128::Block& b, int i) {
+  return ((b[static_cast<size_t>(i / 8)] >> (7 - i % 8)) & 1) != 0;
+}
+
+}  // namespace
+
+CryptoPan::CryptoPan(const Secret& secret)
+    : cipher_([&secret] {
+        Aes128::Key key{};
+        for (int i = 0; i < 16; ++i) key[static_cast<size_t>(i)] = secret[static_cast<size_t>(i)];
+        return Aes128(key);
+      }()) {
+  // Per the reference implementation, the second half of the secret is
+  // itself encrypted once to form the canonical padding block.
+  Aes128::Block raw_pad{};
+  for (int i = 0; i < 16; ++i) raw_pad[static_cast<size_t>(i)] = secret[static_cast<size_t>(16 + i)];
+  pad_ = cipher_.encrypt(raw_pad);
+}
+
+bool CryptoPan::prf_bit(const Aes128::Block& prefix_padded) const {
+  Aes128::Block out = cipher_.encrypt(prefix_padded);
+  return (out[0] & 0x80) != 0;  // most significant bit of the first byte
+}
+
+IPv4Addr CryptoPan::anonymize(IPv4Addr addr, int bits) const {
+  assert(bits >= 0 && bits <= 32);
+  // Work over the full 32-bit address laid out in the top of a block; only
+  // the last `bits` positions get flipped, so the untouched prefix is
+  // copied through verbatim.
+  const int start = 32 - bits;
+  std::uint32_t in = addr.value();
+  std::uint32_t out = in & (bits == 32 ? 0u : ~0u << bits);
+
+  for (int i = start; i < 32; ++i) {
+    // Block = original bits [0, i) followed by padding bits [i, 128).
+    Aes128::Block block = pad_;
+    for (int j = 0; j < i; ++j)
+      set_bit(block, j, ((in >> (31 - j)) & 1) != 0);
+    bool flip = prf_bit(block);
+    std::uint32_t orig_bit = (in >> (31 - i)) & 1;
+    std::uint32_t new_bit = orig_bit ^ static_cast<std::uint32_t>(flip);
+    out |= new_bit << (31 - i);
+  }
+  return IPv4Addr(out);
+}
+
+IPv6Addr CryptoPan::anonymize(const IPv6Addr& addr, int bits) const {
+  assert(bits >= 0 && bits <= 128);
+  const int start = 128 - bits;
+  Aes128::Block in{};
+  for (size_t i = 0; i < 16; ++i) in[i] = addr.bytes()[i];
+  Aes128::Block out = in;
+
+  for (int i = start; i < 128; ++i) {
+    Aes128::Block block = pad_;
+    for (int j = 0; j < i; ++j) set_bit(block, j, get_bit(in, j));
+    bool flip = prf_bit(block);
+    set_bit(out, i, get_bit(in, i) ^ flip);
+  }
+  IPv6Addr::Bytes result{};
+  for (size_t i = 0; i < 16; ++i) result[i] = out[i];
+  return IPv6Addr(result);
+}
+
+IpAddr CryptoPan::anonymize_paper_policy(const IpAddr& addr) const {
+  if (addr.is_v4()) return anonymize(addr.v4(), 8);
+  return anonymize(addr.v6(), 64);
+}
+
+}  // namespace nbv6::net

@@ -1,0 +1,53 @@
+// CryptoPAN prefix-preserving IP address anonymization (Xu et al., ICNP'02).
+//
+// The paper's data-release pipeline (§A) scrambles the low 8 bits of IPv4
+// addresses and the low /64 of IPv6 addresses with CryptoPAN before flow
+// logs leave a residence router. We implement the full algorithm — any bit
+// range can be anonymized — plus convenience entry points matching the
+// paper's policy.
+//
+// Prefix preservation: if two addresses share their first k bits, their
+// anonymized forms also share exactly their first k bits (within the
+// anonymized range). This is what lets anonymized data still support
+// prefix-level analyses like per-AS aggregation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/aes.h"
+#include "net/ip.h"
+
+namespace nbv6::net {
+
+/// Prefix-preserving anonymizer keyed by a 32-byte secret: 16 bytes of AES
+/// key and 16 bytes of padding block, per the reference implementation.
+class CryptoPan {
+ public:
+  using Secret = std::array<std::uint8_t, 32>;
+
+  explicit CryptoPan(const Secret& secret);
+
+  /// Anonymize the low `bits` bits of an IPv4 address, preserving prefixes
+  /// within that range and leaving the top (32 - bits) bits untouched.
+  /// `bits` in [0, 32]. The paper's policy is bits = 8.
+  [[nodiscard]] IPv4Addr anonymize(IPv4Addr addr, int bits = 32) const;
+
+  /// Anonymize the low `bits` bits of an IPv6 address. The paper's policy
+  /// is bits = 64 (scramble the interface identifier, keep the /64 prefix).
+  [[nodiscard]] IPv6Addr anonymize(const IPv6Addr& addr, int bits = 64) const;
+
+  /// Family-dispatching convenience applying the paper's policy
+  /// (v4: low 8 bits; v6: low 64 bits).
+  [[nodiscard]] IpAddr anonymize_paper_policy(const IpAddr& addr) const;
+
+ private:
+  /// One pseudo-random bit derived from the first `len` bits of `block`
+  /// (remaining bits replaced by padding), the core CryptoPAN PRF step.
+  [[nodiscard]] bool prf_bit(const Aes128::Block& prefix_padded) const;
+
+  Aes128 cipher_;
+  Aes128::Block pad_{};
+};
+
+}  // namespace nbv6::net

@@ -1,0 +1,62 @@
+#include "net/flow.h"
+
+namespace nbv6::net {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::tcp:
+      return "tcp";
+    case Protocol::udp:
+      return "udp";
+    case Protocol::icmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+std::string FlowKey::to_string() const {
+  std::string out(net::to_string(protocol));
+  out += ' ';
+  out += src.to_string();
+  out += ':';
+  out += std::to_string(src_port);
+  out += " -> ";
+  out += dst.to_string();
+  out += ':';
+  out += std::to_string(dst_port);
+  return out;
+}
+
+std::strong_ordering operator<=>(const FlowKey& a, const FlowKey& b) {
+  if (auto c = a.protocol <=> b.protocol; c != 0) return c;
+  if (auto c = a.src <=> b.src; c != 0) return c;
+  if (auto c = a.dst <=> b.dst; c != 0) return c;
+  if (auto c = a.src_port <=> b.src_port; c != 0) return c;
+  return a.dst_port <=> b.dst_port;
+}
+
+size_t FlowKeyHash::operator()(const FlowKey& k) const noexcept {
+  // FNV-1a over the flat fields; quality is ample for a flow table.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(k.protocol));
+  auto mix_addr = [&](const IpAddr& a) {
+    if (a.is_v4()) {
+      mix(a.v4().value());
+    } else {
+      mix(a.v6().high64());
+      mix(a.v6().low64());
+    }
+  };
+  mix_addr(k.src);
+  mix_addr(k.dst);
+  mix((std::uint64_t{k.src_port} << 16) | k.dst_port);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace nbv6::net

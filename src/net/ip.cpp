@@ -1,0 +1,250 @@
+#include "net/ip.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+namespace nbv6::net {
+namespace {
+
+// Parses a decimal octet (0-255) from text, advancing `pos`.
+// Rejects empty runs and values over 255. Leading zeros are accepted
+// ("010" == 10), matching the liberal behaviour of inet_pton on Linux for
+// dotted-quad text without octal interpretation.
+std::optional<std::uint8_t> parse_octet(std::string_view text, size_t& pos) {
+  std::uint32_t value = 0;
+  size_t digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+    if (value > 255) return std::nullopt;
+    ++pos;
+    ++digits;
+    if (digits > 3) return std::nullopt;
+  }
+  if (digits == 0) return std::nullopt;
+  return static_cast<std::uint8_t>(value);
+}
+
+std::optional<int> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(Family f) {
+  return f == Family::v4 ? "IPv4" : "IPv6";
+}
+
+std::optional<IPv4Addr> IPv4Addr::parse(std::string_view text) {
+  size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    auto octet = parse_octet(text, pos);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IPv4Addr(value);
+}
+
+std::string IPv4Addr::to_string() const {
+  char buf[16];
+  int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1),
+                        octet(2), octet(3));
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+IPv6Addr IPv6Addr::from_groups(const std::array<std::uint16_t, 8>& groups) {
+  Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    b[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+  }
+  return IPv6Addr(b);
+}
+
+IPv6Addr IPv6Addr::from_halves(std::uint64_t hi, std::uint64_t lo) {
+  Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(hi >> (8 * (7 - i)));
+    b[8 + i] = static_cast<std::uint8_t>(lo >> (8 * (7 - i)));
+  }
+  return IPv6Addr(b);
+}
+
+std::uint64_t IPv6Addr::high64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes_[i];
+  return v;
+}
+
+std::uint64_t IPv6Addr::low64() const {
+  std::uint64_t v = 0;
+  for (int i = 8; i < 16; ++i) v = (v << 8) | bytes_[i];
+  return v;
+}
+
+std::optional<IPv6Addr> IPv6Addr::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+
+  // Split into the part before "::" and the part after. At most one "::".
+  std::array<std::uint16_t, 8> head{};
+  std::array<std::uint16_t, 8> tail{};
+  int head_n = 0;
+  int tail_n = 0;
+  bool seen_gap = false;
+
+  size_t pos = 0;
+
+  // Leading "::".
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    seen_gap = true;
+    pos = 2;
+  } else if (text[0] == ':') {
+    return std::nullopt;  // single leading colon
+  }
+
+  auto push_group = [&](std::uint16_t g) -> bool {
+    if (head_n + tail_n >= 8) return false;
+    if (seen_gap)
+      tail[tail_n++] = g;
+    else
+      head[head_n++] = g;
+    return true;
+  };
+
+  // Parses one hex group or an embedded IPv4 tail at `pos`.
+  while (pos < text.size()) {
+    // Try embedded IPv4 (only valid as the final two groups).
+    size_t dot = text.find('.', pos);
+    size_t next_colon = text.find(':', pos);
+    if (dot != std::string_view::npos &&
+        (next_colon == std::string_view::npos || dot < next_colon)) {
+      auto v4 = IPv4Addr::parse(text.substr(pos));
+      if (!v4) return std::nullopt;
+      std::uint32_t v = v4->value();
+      if (!push_group(static_cast<std::uint16_t>(v >> 16))) return std::nullopt;
+      if (!push_group(static_cast<std::uint16_t>(v & 0xffff)))
+        return std::nullopt;
+      pos = text.size();
+      break;
+    }
+
+    // Hex group: 1-4 hex digits.
+    std::uint32_t g = 0;
+    int digits = 0;
+    while (pos < text.size()) {
+      auto d = hex_digit(text[pos]);
+      if (!d) break;
+      g = (g << 4) | static_cast<std::uint32_t>(*d);
+      ++digits;
+      ++pos;
+      if (digits > 4) return std::nullopt;
+    }
+    if (digits == 0) return std::nullopt;
+    if (!push_group(static_cast<std::uint16_t>(g))) return std::nullopt;
+
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (seen_gap) return std::nullopt;  // second "::"
+      seen_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // trailing "::"
+    } else if (pos == text.size()) {
+      return std::nullopt;  // trailing single colon
+    }
+  }
+
+  int total = head_n + tail_n;
+  if (seen_gap) {
+    if (total >= 8) return std::nullopt;  // "::" must cover >= 1 zero group
+  } else {
+    if (total != 8) return std::nullopt;
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < head_n; ++i) groups[static_cast<size_t>(i)] = head[static_cast<size_t>(i)];
+  for (int i = 0; i < tail_n; ++i)
+    groups[static_cast<size_t>(8 - tail_n + i)] = tail[static_cast<size_t>(i)];
+  return from_groups(groups);
+}
+
+std::string IPv6Addr::to_string() const {
+  // RFC 5952: find the longest run of >=2 zero groups; leftmost on ties.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) == 0) {
+      int j = i;
+      while (j < 8 && group(j) == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", group(i));
+    out += buf;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+IPv4Addr IpAddr::v4() const {
+  assert(family_ == Family::v4);
+  return v4_;
+}
+
+IPv6Addr IpAddr::v6() const {
+  assert(family_ == Family::v6);
+  return v6_;
+}
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  if (auto a = IPv4Addr::parse(text)) return IpAddr(*a);
+  if (auto a = IPv6Addr::parse(text)) return IpAddr(*a);
+  return std::nullopt;
+}
+
+std::string IpAddr::to_string() const {
+  return is_v4() ? v4_.to_string() : v6_.to_string();
+}
+
+bool operator==(const IpAddr& a, const IpAddr& b) {
+  if (a.family_ != b.family_) return false;
+  return a.is_v4() ? a.v4_ == b.v4_ : a.v6_ == b.v6_;
+}
+
+std::strong_ordering operator<=>(const IpAddr& a, const IpAddr& b) {
+  if (a.family_ != b.family_)
+    return a.family_ == Family::v4 ? std::strong_ordering::less
+                                   : std::strong_ordering::greater;
+  if (a.is_v4()) return a.v4_ <=> b.v4_;
+  return a.v6_ <=> b.v6_;
+}
+
+}  // namespace nbv6::net

@@ -1,0 +1,105 @@
+// Longest-prefix-match binary tries for IPv4 and IPv6.
+//
+// The BGP table that attributes resource addresses to cloud providers
+// (cloud/bgp_table.h) needs LPM over hundreds of synthetic route
+// announcements. A path-less binary trie keyed on address bits is simple,
+// correct, and plenty fast at this scale; a production FIB would compress
+// paths, but correctness is what the tests lean on (they compare against a
+// linear-scan oracle).
+//
+// Values are stored by copy. Inserting at an existing (address, length)
+// replaces the stored value.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/ip.h"
+#include "net/prefix.h"
+
+namespace nbv6::net {
+
+namespace detail {
+
+/// Bit accessor shared by both key widths: returns bit `i` (MSB-first) of
+/// an address.
+inline bool key_bit(const IPv4Addr& a, int i) { return a.bit(i); }
+inline bool key_bit(const IPv6Addr& a, int i) { return a.bit(i); }
+
+}  // namespace detail
+
+/// Binary LPM trie generic over (Addr, Prefix, V).
+///
+/// `Prefix` must expose address()/length(); `Addr` must expose bit(i).
+template <typename Addr, typename Prefix, typename V>
+class LpmTrie {
+ public:
+  LpmTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or replace the value at `prefix`.
+  void insert(const Prefix& prefix, V value) {
+    Node* node = root_.get();
+    for (int i = 0; i < prefix.length(); ++i) {
+      auto& child = detail::key_bit(prefix.address(), i) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix match: the value of the most specific stored prefix
+  /// containing `addr`, or nullopt when nothing matches.
+  [[nodiscard]] std::optional<V> lookup(const Addr& addr) const {
+    const Node* node = root_.get();
+    std::optional<V> best;
+    int i = 0;
+    while (node != nullptr) {
+      if (node->value) best = node->value;
+      if (i >= max_bits()) break;
+      const auto& child = detail::key_bit(addr, i) ? node->one : node->zero;
+      node = child.get();
+      ++i;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup at a specific prefix.
+  [[nodiscard]] std::optional<V> at(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (int i = 0; i < prefix.length(); ++i) {
+      const auto& child =
+          detail::key_bit(prefix.address(), i) ? node->one : node->zero;
+      if (!child) return std::nullopt;
+      node = child.get();
+    }
+    return node->value;
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+    std::optional<V> value;
+  };
+
+  static constexpr int max_bits() {
+    if constexpr (std::is_same_v<Addr, IPv4Addr>)
+      return 32;
+    else
+      return 128;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+template <typename V>
+using LpmTrie4 = LpmTrie<IPv4Addr, Prefix4, V>;
+template <typename V>
+using LpmTrie6 = LpmTrie<IPv6Addr, Prefix6, V>;
+
+}  // namespace nbv6::net

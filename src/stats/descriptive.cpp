@@ -1,0 +1,121 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace nbv6::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  assert(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double pos = q * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min(xs);
+  s.p25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.50);
+  s.p75 = quantile(xs, 0.75);
+  s.max = max(xs);
+  return s;
+}
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  auto idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1);
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve() const {
+  std::vector<std::pair<double, double>> pts;
+  const auto n = static_cast<double>(sorted_.size());
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    // Emit only the last point of a run of equal values.
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    pts.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+  }
+  return pts;
+}
+
+BoxPlot boxplot(std::span<const double> xs) {
+  BoxPlot b;
+  if (xs.empty()) return b;
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.50);
+  b.q3 = quantile(xs, 0.75);
+  double iqr = b.q3 - b.q1;
+  double lo_fence = b.q1 - 1.5 * iqr;
+  double hi_fence = b.q3 + 1.5 * iqr;
+  // Whiskers extend to the most extreme data point inside the fences.
+  b.whisker_low = std::numeric_limits<double>::infinity();
+  b.whisker_high = -std::numeric_limits<double>::infinity();
+  for (double x : xs) {
+    if (x >= lo_fence) b.whisker_low = std::min(b.whisker_low, x);
+    if (x <= hi_fence) b.whisker_high = std::max(b.whisker_high, x);
+    if (x < lo_fence || x > hi_fence) b.outliers.push_back(x);
+  }
+  if (!std::isfinite(b.whisker_low)) b.whisker_low = b.q1;
+  if (!std::isfinite(b.whisker_high)) b.whisker_high = b.q3;
+  std::sort(b.outliers.begin(), b.outliers.end());
+  return b;
+}
+
+}  // namespace nbv6::stats

@@ -1,0 +1,78 @@
+// Descriptive statistics, empirical CDFs, and box-plot summaries.
+//
+// These are the reporting primitives: every figure in the paper is either a
+// CDF (Figs. 1, 3, 7, 8, 10, 16), a box plot (Figs. 4, 17), or a table of
+// means and standard deviations (Table 1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nbv6::stats {
+
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Returns 0 for fewer than 2 points.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Quantile with linear interpolation between order statistics (type 7,
+/// the numpy/R default). q in [0, 1]. xs need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// One-pass summary used by Table 1-style reports.
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Empirical CDF over a sample; evaluation and inverse (quantile) queries.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// P(X <= x).
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Smallest sample value v with P(X <= v) >= q.
+  [[nodiscard]] double inverse(double q) const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+  [[nodiscard]] size_t size() const { return sorted_.size(); }
+
+  /// (x, F(x)) pairs suitable for plotting, one per distinct value.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Tukey box-plot statistics: quartiles, whiskers at 1.5×IQR clamped to
+/// data, and outliers beyond the whiskers — the exact convention of the
+/// paper's Figures 4 and 17.
+struct BoxPlot {
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_low = 0;
+  double whisker_high = 0;
+  std::vector<double> outliers;
+};
+
+BoxPlot boxplot(std::span<const double> xs);
+
+}  // namespace nbv6::stats

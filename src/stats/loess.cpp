@@ -1,0 +1,97 @@
+#include "stats/loess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nbv6::stats {
+namespace {
+
+double tricube(double u) {
+  u = std::abs(u);
+  if (u >= 1.0) return 0.0;
+  double t = 1.0 - u * u * u;
+  return t * t * t;
+}
+
+}  // namespace
+
+std::vector<double> loess(std::span<const double> xs,
+                          std::span<const double> ys, const LoessConfig& cfg,
+                          std::span<const double> robustness) {
+  const size_t n = xs.size();
+  assert(ys.size() == n);
+  assert(robustness.empty() || robustness.size() == n);
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  if (n == 1) {
+    out[0] = ys[0];
+    return out;
+  }
+
+  size_t q = cfg.span_points > 0
+                 ? static_cast<size_t>(cfg.span_points)
+                 : static_cast<size_t>(
+                       std::max(2.0, cfg.span_fraction * static_cast<double>(n)));
+  q = std::clamp<size_t>(q, 2, n);
+
+  // xs is sorted, so the q nearest neighbours of xs[i] form a contiguous
+  // window; slide it with two pointers.
+  size_t lo = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Advance window while the next point right is closer than the
+    // farthest point left.
+    while (lo + q < n &&
+           xs[lo + q] - xs[i] < xs[i] - xs[lo]) {
+      ++lo;
+    }
+    // Ensure i is inside [lo, lo+q).
+    if (i >= lo + q) lo = i - q + 1;
+    if (i < lo) lo = i;
+    size_t hi = lo + q;  // exclusive
+
+    double dmax = std::max(xs[i] - xs[lo], xs[hi - 1] - xs[i]);
+    if (dmax <= 0.0) dmax = 1.0;
+
+    // Weighted linear regression over the window.
+    double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+    for (size_t j = lo; j < hi; ++j) {
+      double w = tricube((xs[j] - xs[i]) / dmax);
+      if (!robustness.empty()) w *= robustness[j];
+      if (w <= 0.0) continue;
+      double dx = xs[j] - xs[i];
+      sw += w;
+      swx += w * dx;
+      swy += w * ys[j];
+      swxx += w * dx * dx;
+      swxy += w * dx * ys[j];
+    }
+    if (sw <= 0.0) {
+      out[i] = ys[i];
+      continue;
+    }
+    if (cfg.degree == 0) {
+      out[i] = swy / sw;
+    } else {
+      double denom = sw * swxx - swx * swx;
+      if (std::abs(denom) < 1e-12 * sw * sw || swxx == 0.0) {
+        out[i] = swy / sw;  // degenerate: all x equal, fall back to mean
+      } else {
+        // Fit y = a + b*dx around dx = 0; value at the target is `a`.
+        double b = (sw * swxy - swx * swy) / denom;
+        double a = (swy - b * swx) / sw;
+        out[i] = a;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> loess(std::span<const double> ys, const LoessConfig& cfg,
+                          std::span<const double> robustness) {
+  std::vector<double> xs(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return loess(xs, ys, cfg, robustness);
+}
+
+}  // namespace nbv6::stats

@@ -1,0 +1,44 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nbv6::stats {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding at the top
+}
+
+size_t DiscreteSampler::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+namespace {
+std::vector<double> zipf_weights(size_t n, double s) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i)
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  return w;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double s)
+    : inner_([&] {
+        auto w = zipf_weights(n, s);
+        return DiscreteSampler(w);
+      }()) {}
+
+}  // namespace nbv6::stats

@@ -1,0 +1,191 @@
+#include "stats/stl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/loess.h"
+
+namespace nbv6::stats {
+namespace {
+
+// Centered moving average of window w; edges use the available shorter
+// window. Applied twice at length `period` plus once at 3, this is STL's
+// low-pass filter.
+std::vector<double> moving_average(std::span<const double> ys, int w) {
+  const auto n = static_cast<int>(ys.size());
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  if (n == 0) return out;
+  int half = w / 2;
+  // Prefix sums for O(n).
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i)
+    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + ys[static_cast<size_t>(i)];
+  for (int i = 0; i < n; ++i) {
+    int lo = std::max(0, i - half);
+    int hi = std::min(n - 1, i + half);
+    out[static_cast<size_t>(i)] =
+        (prefix[static_cast<size_t>(hi) + 1] - prefix[static_cast<size_t>(lo)]) /
+        static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+// Default spans follow the conventions in the STL literature: the seasonal
+// smoother wants a long span (quasi-periodic seasonality), the trend span
+// is the smallest odd integer >= 1.5*period / (1 - 1.5/seasonal_span).
+int default_seasonal_span(int n_subseries) {
+  int s = 10 * n_subseries + 1;
+  return s | 1;
+}
+
+int default_trend_span(int period, int seasonal_span) {
+  double v = 1.5 * period / (1.0 - 1.5 / static_cast<double>(seasonal_span));
+  int t = static_cast<int>(std::ceil(v));
+  return t | 1;
+}
+
+}  // namespace
+
+StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg) {
+  const auto n = ys.size();
+  const int period = cfg.period;
+  assert(period >= 2);
+  assert(n >= static_cast<size_t>(2 * period));
+
+  const int n_sub =
+      static_cast<int>((n + static_cast<size_t>(period) - 1) / static_cast<size_t>(period));
+  const int seasonal_span =
+      cfg.seasonal_span > 0 ? cfg.seasonal_span : default_seasonal_span(n_sub);
+  const int trend_span = cfg.trend_span > 0
+                             ? cfg.trend_span
+                             : default_trend_span(period, seasonal_span);
+
+  StlResult r;
+  r.trend.assign(n, 0.0);
+  r.seasonal.assign(n, 0.0);
+  r.remainder.assign(n, 0.0);
+
+  std::vector<double> robustness;  // empty = all ones
+
+  for (int outer = 0; outer <= cfg.outer_iterations; ++outer) {
+    for (int inner = 0; inner < cfg.inner_iterations; ++inner) {
+      // 1. Detrend.
+      std::vector<double> detrended(n);
+      for (size_t i = 0; i < n; ++i) detrended[i] = ys[i] - r.trend[i];
+
+      // 2. Cycle-subseries smoothing: smooth each phase independently.
+      std::vector<double> c(n, 0.0);
+      for (int phase = 0; phase < period; ++phase) {
+        std::vector<double> sub;
+        std::vector<double> sub_rob;
+        for (size_t i = static_cast<size_t>(phase); i < n;
+             i += static_cast<size_t>(period)) {
+          sub.push_back(detrended[i]);
+          if (!robustness.empty()) sub_rob.push_back(robustness[i]);
+        }
+        LoessConfig lc;
+        lc.span_points = std::min<int>(seasonal_span, static_cast<int>(sub.size()));
+        lc.degree = 1;
+        auto smoothed = loess(sub, lc, sub_rob);
+        size_t k = 0;
+        for (size_t i = static_cast<size_t>(phase); i < n;
+             i += static_cast<size_t>(period)) {
+          c[i] = smoothed[k++];
+        }
+      }
+
+      // 3. Low-pass filter the preliminary seasonal and subtract, so the
+      // seasonal carries no trend.
+      auto lp = moving_average(c, period);
+      lp = moving_average(lp, period);
+      lp = moving_average(lp, 3);
+      LoessConfig lp_cfg;
+      lp_cfg.span_points = trend_span;
+      lp_cfg.degree = 1;
+      lp = loess(lp, lp_cfg);
+      for (size_t i = 0; i < n; ++i) r.seasonal[i] = c[i] - lp[i];
+
+      // 4. Deseasonalize and update the trend.
+      std::vector<double> deseason(n);
+      for (size_t i = 0; i < n; ++i) deseason[i] = ys[i] - r.seasonal[i];
+      LoessConfig tc;
+      tc.span_points = std::min<int>(trend_span, static_cast<int>(n));
+      tc.degree = 1;
+      r.trend = loess(deseason, tc, robustness);
+    }
+
+    for (size_t i = 0; i < n; ++i)
+      r.remainder[i] = ys[i] - r.trend[i] - r.seasonal[i];
+
+    if (outer < cfg.outer_iterations) {
+      // Bisquare robustness weights from remainder magnitudes.
+      std::vector<double> abs_rem(n);
+      for (size_t i = 0; i < n; ++i) abs_rem[i] = std::abs(r.remainder[i]);
+      double h = 6.0 * median(abs_rem);
+      robustness.assign(n, 1.0);
+      if (h > 0) {
+        for (size_t i = 0; i < n; ++i) {
+          double u = abs_rem[i] / h;
+          robustness[i] = u >= 1.0 ? 0.0 : (1 - u * u) * (1 - u * u);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
+  const size_t n = ys.size();
+  MstlResult r;
+
+  // Keep only periods the series can support, ascending.
+  std::vector<int> periods;
+  for (int p : cfg.periods)
+    if (p >= 2 && n >= static_cast<size_t>(2 * p)) periods.push_back(p);
+  std::sort(periods.begin(), periods.end());
+
+  r.seasonals.assign(periods.size(), std::vector<double>(n, 0.0));
+  r.trend.assign(n, 0.0);
+  r.remainder.assign(n, 0.0);
+
+  if (periods.empty()) {
+    // Degenerate: no seasonality extractable; trend = LOESS of series.
+    LoessConfig tc;
+    tc.span_fraction = 0.5;
+    r.trend = loess(ys, tc);
+    for (size_t i = 0; i < n; ++i) r.remainder[i] = ys[i] - r.trend[i];
+    return r;
+  }
+
+  // Iterative refinement (Bandara et al. §3): strip other components,
+  // re-fit this period's seasonal via STL.
+  for (int pass = 0; pass < std::max(1, cfg.refinement_passes); ++pass) {
+    for (size_t k = 0; k < periods.size(); ++k) {
+      std::vector<double> partial(ys.begin(), ys.end());
+      for (size_t j = 0; j < periods.size(); ++j) {
+        if (j == k) continue;
+        for (size_t i = 0; i < n; ++i) partial[i] -= r.seasonals[j][i];
+      }
+      StlConfig sc;
+      sc.period = periods[k];
+      sc.inner_iterations = cfg.inner_iterations;
+      sc.outer_iterations = cfg.outer_iterations;
+      auto res = stl_decompose(partial, sc);
+      r.seasonals[k] = std::move(res.seasonal);
+      // The trend from the longest-period STL (last refined) is the final
+      // trend; intermediate ones are absorbed.
+      if (k + 1 == periods.size()) r.trend = std::move(res.trend);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (const auto& comp : r.seasonals) s += comp[i];
+    r.remainder[i] = ys[i] - r.trend[i] - s;
+  }
+  return r;
+}
+
+}  // namespace nbv6::stats

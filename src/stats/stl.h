@@ -1,0 +1,60 @@
+// STL — Seasonal-Trend decomposition using LOESS (Cleveland et al. 1990),
+// and MSTL — its multi-seasonal extension (Bandara, Hyndman & Bergmeir
+// 2021), which the paper applies to daily/weekly structure in residential
+// IPv6 fractions (§3.3, Figs. 2, 13-15).
+//
+// STL here follows the classic structure: inner iterations alternate
+// (1) cycle-subseries LOESS smoothing of the detrended series to extract
+// the seasonal, (2) low-pass filtering (two moving averages of length
+// `period`, an MA(3), and a LOESS pass) to de-trend the seasonal, and
+// (3) LOESS smoothing of the deseasonalized series to update the trend.
+// Outer iterations compute bisquare robustness weights from the remainder.
+//
+// MSTL iteratively refines one seasonal component per period: on each
+// refinement pass, each period's seasonal is re-estimated by STL applied to
+// the series minus all other seasonal components.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nbv6::stats {
+
+struct StlConfig {
+  int period = 0;                ///< seasonal period in samples (required)
+  int seasonal_span = 0;         ///< LOESS span (points) for cycle-subseries;
+                                 ///< 0 = "periodic-ish" default (10*n+1 style)
+  int trend_span = 0;            ///< LOESS span (points) for trend; 0 = auto
+  int inner_iterations = 2;
+  int outer_iterations = 0;      ///< robustness iterations (0 = none)
+};
+
+struct StlResult {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+};
+
+/// Decompose ys into trend + seasonal + remainder. Requires
+/// ys.size() >= 2 * period and period >= 2.
+StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg);
+
+struct MstlConfig {
+  std::vector<int> periods;      ///< ascending, e.g. {24, 168} for hourly data
+  int refinement_passes = 2;     ///< outer MSTL iterations over the periods
+  int inner_iterations = 2;
+  int outer_iterations = 0;
+};
+
+struct MstlResult {
+  std::vector<double> trend;
+  /// One seasonal component per configured period, same order.
+  std::vector<std::vector<double>> seasonals;
+  std::vector<double> remainder;
+};
+
+/// Multi-seasonal decomposition. Periods whose 2×period exceeds the series
+/// length are dropped (matching the statsmodels MSTL behaviour).
+MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg);
+
+}  // namespace nbv6::stats

@@ -1,0 +1,172 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace nbv6::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+std::vector<double> midranks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::abs(values[a]) < std::abs(values[b]);
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           std::abs(values[order[j + 1]]) == std::abs(values[order[i]]))
+      ++j;
+    // Positions i..j (0-based) share the average rank of positions i+1..j+1.
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+namespace {
+
+// Exact null distribution of W+ for n untied ranks: counts of subsets of
+// {1..n} summing to each value, via DP. Feasible well past n = 25.
+double exact_two_sided_p(int n, double w_plus) {
+  const int max_sum = n * (n + 1) / 2;
+  std::vector<double> counts(static_cast<size_t>(max_sum) + 1, 0.0);
+  counts[0] = 1.0;
+  for (int r = 1; r <= n; ++r)
+    for (int s = max_sum; s >= r; --s)
+      counts[static_cast<size_t>(s)] += counts[static_cast<size_t>(s - r)];
+
+  const double total = std::pow(2.0, n);
+  // Two-sided: double the smaller tail, using the symmetry of the null
+  // distribution around max_sum / 2.
+  double w = w_plus;
+  double mirrored = static_cast<double>(max_sum) - w;
+  double lo_stat = std::min(w, mirrored);
+  double tail = 0.0;
+  for (int s = 0; s <= static_cast<int>(std::floor(lo_stat + 1e-9)); ++s)
+    tail += counts[static_cast<size_t>(s)];
+  double p = 2.0 * tail / total;
+  return std::min(1.0, p);
+}
+
+}  // namespace
+
+std::optional<WilcoxonResult> wilcoxon_signed_rank(
+    std::span<const double> diffs) {
+  // Discard zeros.
+  std::vector<double> d;
+  d.reserve(diffs.size());
+  for (double x : diffs)
+    if (x != 0.0) d.push_back(x);
+  if (d.empty()) return std::nullopt;
+
+  auto ranks = midranks(d);
+  const size_t n = d.size();
+
+  WilcoxonResult r;
+  r.n = n;
+  double w_plus = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    if (d[i] > 0) w_plus += ranks[i];
+  r.w_plus = w_plus;
+
+  bool has_ties = [&] {
+    std::vector<double> abs_sorted(n);
+    for (size_t i = 0; i < n; ++i) abs_sorted[i] = std::abs(d[i]);
+    std::sort(abs_sorted.begin(), abs_sorted.end());
+    return std::adjacent_find(abs_sorted.begin(), abs_sorted.end()) !=
+           abs_sorted.end();
+  }();
+
+  const double nn = static_cast<double>(n);
+  const double mean_w = nn * (nn + 1.0) / 4.0;
+
+  if (!has_ties && n <= 25) {
+    r.p_value = exact_two_sided_p(static_cast<int>(n), w_plus);
+    // Z from the exact variance so the effect size stays consistent.
+    double var_w = nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0;
+    r.z = var_w > 0 ? (w_plus - mean_w) / std::sqrt(var_w) : 0.0;
+  } else {
+    // Normal approximation with tie correction: the variance shrinks by
+    // sum(t^3 - t) / 48 per tie group of size t.
+    double tie_term = 0.0;
+    {
+      std::vector<double> abs_d(n);
+      for (size_t i = 0; i < n; ++i) abs_d[i] = std::abs(d[i]);
+      std::sort(abs_d.begin(), abs_d.end());
+      size_t i = 0;
+      while (i < n) {
+        size_t j = i;
+        while (j + 1 < n && abs_d[j + 1] == abs_d[i]) ++j;
+        double t = static_cast<double>(j - i + 1);
+        tie_term += t * t * t - t;
+        i = j + 1;
+      }
+    }
+    double var_w =
+        nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0 - tie_term / 48.0;
+    if (var_w <= 0) {
+      // All differences tied at one magnitude with both signs impossible:
+      // no variance means no evidence either way.
+      r.p_value = 1.0;
+      r.z = 0.0;
+    } else {
+      // Continuity correction toward the mean.
+      double num = w_plus - mean_w;
+      double cc = num > 0 ? -0.5 : (num < 0 ? 0.5 : 0.0);
+      r.z = (num + cc) / std::sqrt(var_w);
+      r.p_value = std::min(1.0, 2.0 * (1.0 - normal_cdf(std::abs(r.z))));
+    }
+  }
+
+  r.effect_size_r = r.z / std::sqrt(nn);
+  r.effect_size_r = std::clamp(r.effect_size_r, -1.0, 1.0);
+  return r;
+}
+
+std::optional<WilcoxonResult> wilcoxon_signed_rank(std::span<const double> xs,
+                                                   std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  std::vector<double> d(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) d[i] = xs[i] - ys[i];
+  return wilcoxon_signed_rank(d);
+}
+
+HolmResult holm_bonferroni(std::span<const double> p_values, double alpha) {
+  const size_t m = p_values.size();
+  HolmResult out;
+  out.reject.assign(m, false);
+  out.adjusted_p.assign(m, 1.0);
+  if (m == 0) return out;
+
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+
+  // Step-down: reject while p_(k) <= alpha / (m - k); stop at first failure.
+  bool stopped = false;
+  double running_max = 0.0;
+  for (size_t k = 0; k < m; ++k) {
+    size_t idx = order[k];
+    double factor = static_cast<double>(m - k);
+    double adj = std::min(1.0, p_values[idx] * factor);
+    running_max = std::max(running_max, adj);  // enforce monotonicity
+    out.adjusted_p[idx] = running_max;
+    if (!stopped && p_values[idx] <= alpha / factor) {
+      out.reject[idx] = true;
+    } else {
+      stopped = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace nbv6::stats

@@ -1,0 +1,59 @@
+// Wilcoxon signed-rank test and Holm-Bonferroni multiple-testing control.
+//
+// §5.2 of the paper compares IPv6 readiness of cloud-provider pairs over
+// shared multi-cloud tenants with a two-sided Wilcoxon signed-rank test,
+// reports the effect size r, and controls the family-wise error rate over
+// all 67 comparable pairs with Holm-Bonferroni at α = 0.05. This module is
+// that exact statistical machinery.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nbv6::stats {
+
+struct WilcoxonResult {
+  /// Number of non-zero paired differences actually tested.
+  size_t n = 0;
+  /// Sum of ranks of positive differences (the W+ statistic).
+  double w_plus = 0;
+  /// Two-sided p-value. Exact distribution when n <= 25 and there are no
+  /// ties among |differences|; normal approximation (with tie and
+  /// continuity corrections) otherwise.
+  double p_value = 1.0;
+  /// Signed standardized statistic; >0 means first sample tends larger.
+  double z = 0;
+  /// Effect size r = Z / sqrt(n), in [-1, 1]; the colour scale of Fig. 12.
+  double effect_size_r = 0;
+};
+
+/// Paired two-sided test on xs vs ys (must be equal length). Zero
+/// differences are discarded (Wilcoxon's original treatment, scipy
+/// zero_method="wilcox"). Returns nullopt when fewer than 1 non-zero
+/// difference remains.
+std::optional<WilcoxonResult> wilcoxon_signed_rank(std::span<const double> xs,
+                                                   std::span<const double> ys);
+
+/// Test directly on precomputed differences.
+std::optional<WilcoxonResult> wilcoxon_signed_rank(
+    std::span<const double> diffs);
+
+/// Midranks of |values|: ties share the average of the ranks they occupy.
+std::vector<double> midranks(std::span<const double> values);
+
+/// Holm-Bonferroni step-down procedure. Given raw p-values, returns for
+/// each whether it is rejected at family-wise level `alpha`, plus the
+/// adjusted p-values.
+struct HolmResult {
+  std::vector<bool> reject;
+  std::vector<double> adjusted_p;
+};
+
+HolmResult holm_bonferroni(std::span<const double> p_values,
+                           double alpha = 0.05);
+
+/// Standard normal CDF (used by the approximation and exposed for tests).
+double normal_cdf(double z);
+
+}  // namespace nbv6::stats

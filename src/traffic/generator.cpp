@@ -1,0 +1,312 @@
+#include "traffic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbv6::traffic {
+namespace {
+
+using flowmon::Scope;
+using flowmon::Timestamp;
+
+// Small-lambda Poisson (Knuth); lambdas here are < 50.
+int poisson(stats::Rng& rng, double lambda) {
+  if (lambda <= 0) return 0;
+  double l = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+std::vector<double> residence_weights(const ServiceCatalog& catalog,
+                                      const ResidenceConfig& cfg) {
+  std::vector<double> w;
+  w.reserve(catalog.size());
+  for (const auto& s : catalog.services()) {
+    double mult = 1.0;
+    for (const auto& [name, m] : cfg.service_weight_overrides)
+      if (name == s.name) mult = m;
+    w.push_back(s.popularity * mult);
+  }
+  return w;
+}
+
+}  // namespace
+
+ResidenceSimulator::ResidenceSimulator(const ServiceCatalog& catalog,
+                                       ResidenceConfig config)
+    : catalog_(&catalog),
+      cfg_(std::move(config)),
+      rng_(cfg_.seed),
+      service_sampler_(residence_weights(catalog, cfg_)),
+      device_count_(std::max(3, static_cast<int>(cfg_.activity_scale))),
+      residence_id_(static_cast<std::uint32_t>(
+          cfg_.name.empty() ? 0 : (cfg_.name[0] - 'A' + 1))) {}
+
+bool ResidenceSimulator::is_away(int day) const {
+  for (auto [lo, hi] : cfg_.away_day_ranges)
+    if (day >= lo && day <= hi) return true;
+  return false;
+}
+
+double ResidenceSimulator::presence(int day, int hour) const {
+  if (is_away(day)) return 0.0;
+  int weekday = (cfg_.start_weekday + day) % 7;  // 0 = Monday
+  bool workday = weekday < 5;
+
+  // Piecewise human-presence curve: near-zero overnight, a mid-morning
+  // bump, a work-hours dip on weekdays, rising evenings peaking before
+  // midnight — the §3.3 daily component.
+  double p;
+  if (hour < 1)
+    p = 0.55;  // tail of the evening peak
+  else if (hour < 6)
+    p = 0.05;
+  else if (hour < 8)
+    p = 0.30;
+  else if (hour < 11)
+    p = 0.50;  // mid-morning secondary peak
+  else if (hour < 17)
+    p = workday ? 0.22 : 0.50;
+  else if (hour < 20)
+    p = 0.70;
+  else
+    p = 1.00;  // evening peak rising to midnight
+  return p;
+}
+
+net::IpAddr ResidenceSimulator::device_addr(int device,
+                                            net::Family family) const {
+  if (family == net::Family::v4)
+    return net::IPv4Addr(192, 168, 1, static_cast<std::uint8_t>(10 + device));
+  // Each residence holds a delegated /56-ish slice of 2600:8800::/32.
+  std::uint64_t hi =
+      (0x2600'8800ull << 32) | (static_cast<std::uint64_t>(residence_id_) << 8);
+  return net::IPv6Addr::from_halves(hi,
+                                    static_cast<std::uint64_t>(10 + device));
+}
+
+int ResidenceSimulator::flows_per_session(TrafficProfile p) {
+  switch (p) {
+    case TrafficProfile::web:
+      return static_cast<int>(rng_.between(3, 18));
+    case TrafficProfile::streaming:
+      return static_cast<int>(rng_.between(1, 3));
+    case TrafficProfile::download:
+      return static_cast<int>(rng_.between(1, 2));
+    case TrafficProfile::call:
+      return static_cast<int>(rng_.between(1, 2));
+    case TrafficProfile::gaming:
+      return static_cast<int>(rng_.between(4, 12));
+    case TrafficProfile::background:
+      return static_cast<int>(rng_.between(1, 4));
+  }
+  return 1;
+}
+
+ResidenceSimulator::FlowSpec ResidenceSimulator::sample_flow(
+    TrafficProfile p) {
+  FlowSpec f{};
+  switch (p) {
+    case TrafficProfile::web:
+      f.bytes_in = static_cast<std::uint64_t>(
+          std::min(rng_.lognormal(std::log(30e3), 1.4), 5e7));
+      f.bytes_out = 500 + f.bytes_in / 20;
+      f.duration = static_cast<Timestamp>(rng_.between(1, 30));
+      break;
+    case TrafficProfile::streaming:
+      f.bytes_in = static_cast<std::uint64_t>(
+          std::min(rng_.pareto(60e6, 1.15), 6e9));
+      f.bytes_out = f.bytes_in / 400;
+      f.duration = static_cast<Timestamp>(rng_.between(300, 5400));
+      break;
+    case TrafficProfile::download:
+      f.bytes_in = static_cast<std::uint64_t>(
+          std::min(rng_.pareto(150e6, 0.95), 2.5e10));
+      f.bytes_out = f.bytes_in / 600;
+      f.duration = static_cast<Timestamp>(rng_.between(60, 3600));
+      break;
+    case TrafficProfile::call: {
+      auto bytes = static_cast<std::uint64_t>(
+          std::min(rng_.lognormal(std::log(120e6), 0.8), 2e9));
+      f.bytes_in = bytes;
+      f.bytes_out = bytes;  // calls are symmetric
+      f.duration = static_cast<Timestamp>(rng_.between(600, 5400));
+      break;
+    }
+    case TrafficProfile::gaming:
+      f.bytes_in = static_cast<std::uint64_t>(
+          std::min(rng_.lognormal(std::log(25e3), 1.0), 1e6));
+      f.bytes_out = f.bytes_in / 2;
+      f.duration = static_cast<Timestamp>(rng_.between(30, 3600));
+      break;
+    case TrafficProfile::background:
+      f.bytes_in = static_cast<std::uint64_t>(
+          std::min(rng_.lognormal(std::log(8e3), 1.2), 2e6));
+      f.bytes_out = 300 + f.bytes_in / 10;
+      f.duration = static_cast<Timestamp>(rng_.between(1, 120));
+      break;
+  }
+  return f;
+}
+
+void ResidenceSimulator::run_session(flowmon::ConntrackTable& table,
+                                     Timestamp t, size_t service_idx,
+                                     bool background) {
+  // Opt-outs: some devices bypass the study router entirely.
+  if (!rng_.chance(cfg_.visibility)) {
+    ++stats_.skipped_invisible;
+    return;
+  }
+  ++stats_.sessions;
+
+  const Service& svc = catalog_->at(service_idx);
+  int device = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
+  bool device_v6_ok = rng_.chance(cfg_.device_v6_ok_frac);
+
+  int endpoint_idx = static_cast<int>(
+      rng_.below(ServiceCatalog::kEndpointsPerService));
+  Endpoint ep = catalog_->endpoint(service_idx, endpoint_idx);
+
+  // Background chatter skews IPv4: much of it is legacy firmware and
+  // update CDNs pinned to literal IPv4 endpoints (the paper's observation
+  // that unoccupied-house traffic is mostly IPv4).
+  bool force_v4 = background && rng_.chance(cfg_.background_v4_bias);
+
+  double v4_rtt = rng_.lognormal(std::log(18.0), 0.4);
+  double v6_rtt = rng_.lognormal(std::log(18.0), 0.4);
+  auto decision = happy_eyeballs_race(true, ep.v6.has_value(),
+                                      device_v6_ok && !force_v4, v4_rtt,
+                                      v6_rtt, rng_, he_cfg_);
+  if (decision.failed) {
+    ++stats_.he_failures;
+    return;
+  }
+
+  const bool use_udp = svc.profile == TrafficProfile::streaming ||
+                       svc.profile == TrafficProfile::call
+                           ? rng_.chance(0.6)
+                           : rng_.chance(0.1);
+
+  int nflows = flows_per_session(svc.profile);
+  for (int i = 0; i < nflows; ++i) {
+    FlowSpec spec = sample_flow(svc.profile);
+    net::FlowKey key;
+    key.protocol = use_udp ? net::Protocol::udp : net::Protocol::tcp;
+    if (decision.used == net::Family::v6 && ep.v6) {
+      key.src = device_addr(device, net::Family::v6);
+      key.dst = *ep.v6;
+    } else {
+      key.src = device_addr(device, net::Family::v4);
+      key.dst = ep.v4;
+    }
+    key.src_port = next_port();
+    key.dst_port = 443;
+
+    Timestamp start = t + static_cast<Timestamp>(rng_.below(60));
+    table.open(key, start, Scope::external);
+    table.account(key, start, spec.bytes_out, spec.bytes_in);
+    table.close(key, start + spec.duration);
+    ++stats_.flows;
+  }
+
+  // The losing Happy Eyeballs connection: a near-empty flow on the other
+  // family (§3.2's explanation for stable flow fractions vs volatile byte
+  // fractions).
+  if (decision.opened_both) {
+    net::FlowKey key;
+    key.protocol = net::Protocol::tcp;
+    if (decision.used == net::Family::v6) {
+      key.src = device_addr(device, net::Family::v4);
+      key.dst = ep.v4;
+    } else if (ep.v6) {
+      key.src = device_addr(device, net::Family::v6);
+      key.dst = *ep.v6;
+    } else {
+      return;
+    }
+    key.src_port = next_port();
+    key.dst_port = 443;
+    table.open(key, t, Scope::external);
+    table.account(key, t, 400, 300);  // SYN/handshake remnants
+    table.close(key, t + 1);
+    ++stats_.flows;
+  }
+}
+
+void ResidenceSimulator::run_internal(flowmon::ConntrackTable& table,
+                                      Timestamp t) {
+  int a = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
+  int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
+  if (a == b) b = (b + 1) % device_count_;
+
+  bool v6 = rng_.chance(cfg_.internal_v6_frac);
+  net::FlowKey key;
+  key.protocol = rng_.chance(0.5) ? net::Protocol::udp : net::Protocol::tcp;
+  key.src = device_addr(a, v6 ? net::Family::v6 : net::Family::v4);
+  key.dst = device_addr(b, v6 ? net::Family::v6 : net::Family::v4);
+  key.src_port = next_port();
+  key.dst_port = rng_.chance(0.4) ? 5353 : 445;  // mDNS / SMB-ish mix
+
+  auto bytes = static_cast<std::uint64_t>(
+      std::min(rng_.lognormal(std::log(50e3), 1.6), 5e8));
+  Timestamp start = t + static_cast<Timestamp>(rng_.below(3600));
+  table.open(key, start, Scope::internal);
+  table.account(key, start, bytes / 2, bytes / 2);
+  table.close(key, start + static_cast<Timestamp>(rng_.between(1, 300)));
+  ++stats_.flows;
+}
+
+void ResidenceSimulator::simulate_hour(flowmon::ConntrackTable& table,
+                                       int day, int hour) {
+  const Timestamp hour_start =
+      static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
+      static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
+
+  // Interactive sessions follow presence.
+  double lambda = cfg_.activity_scale * presence(day, hour);
+  int sessions = poisson(rng_, lambda);
+  for (int s = 0; s < sessions; ++s) {
+    Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
+    run_session(table, t, service_sampler_.sample(rng_), /*background=*/false);
+  }
+
+  // Background chatter runs regardless of presence (phones at home, TVs
+  // polling, OS updates) at a low constant rate.
+  int bg = poisson(rng_, 1.2);
+  for (int s = 0; s < bg; ++s) {
+    Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
+    // Background favours software/update and cloud endpoints.
+    size_t idx = service_sampler_.sample(rng_);
+    const auto& svc = catalog_->at(idx);
+    if (svc.profile != TrafficProfile::background && rng_.chance(0.5)) {
+      // Re-roll once toward background-profile services.
+      for (size_t j = 0; j < catalog_->size(); ++j) {
+        if (catalog_->at(j).profile == TrafficProfile::background) {
+          idx = j;
+          break;
+        }
+      }
+    }
+    run_session(table, t, idx, /*background=*/true);
+  }
+
+  // Internal LAN flows.
+  int internal = poisson(rng_, cfg_.internal_flows_per_hour *
+                                   std::max(0.2, presence(day, hour)));
+  for (int s = 0; s < internal; ++s) run_internal(table, hour_start);
+}
+
+SimulationStats ResidenceSimulator::run(flowmon::ConntrackTable& table) {
+  stats_ = SimulationStats{};
+  for (int day = 0; day < cfg_.days; ++day)
+    for (int hour = 0; hour < 24; ++hour) simulate_hour(table, day, hour);
+  table.flush(static_cast<Timestamp>(cfg_.days) * flowmon::kSecondsPerDay);
+  return stats_;
+}
+
+}  // namespace nbv6::traffic

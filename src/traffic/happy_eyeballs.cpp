@@ -1,0 +1,42 @@
+#include "traffic/happy_eyeballs.h"
+
+namespace nbv6::traffic {
+
+HappyEyeballsDecision happy_eyeballs_race(bool has_v4, bool has_v6,
+                                          bool v6_working, double v4_rtt_ms,
+                                          double v6_rtt_ms, stats::Rng& rng,
+                                          const HappyEyeballsConfig& cfg) {
+  HappyEyeballsDecision d;
+
+  const bool v6_usable = has_v6 && v6_working;
+  if (!has_v4 && !v6_usable) {
+    d.failed = true;
+    return d;
+  }
+  if (!v6_usable) {
+    d.used = net::Family::v4;
+    // A broken-but-advertised IPv6 path was attempted and timed out; it
+    // still registered a flow (SYNs leave the house).
+    d.opened_both = has_v6;
+    return d;
+  }
+  if (!has_v4) {
+    d.used = net::Family::v6;
+    return d;
+  }
+
+  // Both usable: IPv6 starts immediately, IPv4 after the attempt delay.
+  // IPv4 wins only when its connect completes before IPv6's.
+  double v6_done = v6_rtt_ms;
+  double v4_done = cfg.connection_attempt_delay_ms + v4_rtt_ms;
+  if (v4_done < v6_done) {
+    d.used = net::Family::v4;
+    d.opened_both = true;  // the IPv6 attempt was already in flight
+  } else {
+    d.used = net::Family::v6;
+    d.opened_both = rng.chance(cfg.dup_flow_prob);
+  }
+  return d;
+}
+
+}  // namespace nbv6::traffic

@@ -1,0 +1,51 @@
+// Happy Eyeballs v2 (RFC 8305) connection racing, as a decision model.
+//
+// §3.2 leans on Happy Eyeballs twice: dual-stack hosts *prefer* IPv6 (so
+// residual IPv4 traffic indicates IPv4-only services), and some
+// implementations open BOTH an IPv4 and an IPv6 connection before settling,
+// which inflates flow counts symmetrically and makes byte fractions the
+// clearer adoption signal. This model captures both effects:
+//
+//   - Resolution delay: the client waits briefly for AAAA before racing.
+//   - Connection attempt delay: IPv6 goes first; IPv4 starts after
+//     `connection_attempt_delay_ms` and can win only if IPv6 is broken or
+//     slower by more than that head start.
+//   - Duplicate flows: with probability `dup_flow_prob`, the losing
+//     family's connection is opened (and shows up in conntrack) even though
+//     virtually all bytes ride the winner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ip.h"
+#include "stats/rng.h"
+
+namespace nbv6::traffic {
+
+struct HappyEyeballsConfig {
+  /// Head start IPv6 gets before the IPv4 attempt begins (RFC 8305 §5
+  /// recommends 250 ms).
+  double connection_attempt_delay_ms = 250.0;
+  /// Probability that the loser's connection still appears as a flow.
+  double dup_flow_prob = 0.35;
+};
+
+struct HappyEyeballsDecision {
+  net::Family used = net::Family::v4;
+  /// The losing family was also attempted and produced a (nearly empty)
+  /// flow record.
+  bool opened_both = false;
+  /// No connectivity at all (both families absent or broken).
+  bool failed = false;
+};
+
+/// Race a connection to an endpoint that `has_v4`/`has_v6` describe.
+/// `v6_working` models client-side IPv6 breakage (e.g. Residence C's
+/// devices); `v4_rtt_ms`/`v6_rtt_ms` are the respective connect latencies.
+HappyEyeballsDecision happy_eyeballs_race(bool has_v4, bool has_v6,
+                                          bool v6_working, double v4_rtt_ms,
+                                          double v6_rtt_ms, stats::Rng& rng,
+                                          const HappyEyeballsConfig& cfg = {});
+
+}  // namespace nbv6::traffic

@@ -1,0 +1,61 @@
+// Residence models: the five households of §3.
+//
+// Each residence is a parameterized traffic source. Parameters encode the
+// causal factors the paper identifies for cross-residence variation:
+// what services its residents favour (service weight overrides), whether
+// devices actually have working IPv6 (Residence C's suppressed per-AS
+// maximum suggests broken client IPv6), what fraction of household traffic
+// the study router even sees (Residences D and E had privacy opt-outs),
+// and scripted absences (Residence A's spring break, §3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nbv6::traffic {
+
+struct ResidenceConfig {
+  std::string name;
+
+  /// Simulated days; the paper observes Nov 2024 – Aug 2025 (~274 days).
+  int days = 274;
+  /// Weekday of day 0 (0 = Monday). 2024-11-01 was a Friday.
+  int start_weekday = 4;
+
+  /// Mean interactive sessions per fully-active hour. Scales volume.
+  double activity_scale = 8.0;
+  /// Probability that the device behind a session has working IPv6.
+  double device_v6_ok_frac = 1.0;
+  /// Fraction of household sessions routed through the study router.
+  double visibility = 1.0;
+
+  /// Internal (LAN-to-LAN) flows per hour, and their IPv6 share.
+  double internal_flows_per_hour = 2.0;
+  double internal_v6_frac = 0.4;
+
+  /// Probability that a background (non-human) session is pinned to IPv4
+  /// regardless of endpoint capability — legacy firmware and hardcoded
+  /// update endpoints. Modern smart-home fleets (Residence D) run lower.
+  double background_v4_bias = 0.7;
+
+  /// Multiplies catalog popularity per service name; unlisted services
+  /// keep weight 1.0. Encodes each household's distinctive service mix.
+  std::vector<std::pair<std::string, double>> service_weight_overrides;
+
+  /// [first_day, last_day] inclusive ranges when the residence is empty
+  /// (only background traffic). Day 135 ≈ mid-March 2025.
+  std::vector<std::pair<int, int>> away_day_ranges;
+
+  std::uint64_t seed = 1;
+};
+
+/// The five paper residences with calibrated parameters. Index 0..4 =
+/// A..E. Calibration targets Table 1's external IPv6 byte fractions
+/// (A 0.68, B 0.64, C 0.12, D 0.50, E 0.07) and the qualitative findings:
+/// C has broken device IPv6, D and E have partial visibility and little
+/// traffic, E's daily fractions are strongly bimodal.
+std::vector<ResidenceConfig> paper_residences();
+
+}  // namespace nbv6::traffic

@@ -1,0 +1,163 @@
+#include "traffic/service_catalog.h"
+
+#include <cassert>
+
+namespace nbv6::traffic {
+
+std::string_view to_string(ServiceCategory c) {
+  switch (c) {
+    case ServiceCategory::hosting_cloud:
+      return "Hosting and Cloud Provider";
+    case ServiceCategory::software:
+      return "Software Development";
+    case ServiceCategory::isp:
+      return "ISP";
+    case ServiceCategory::web_social:
+      return "Web and Social Media";
+    case ServiceCategory::other:
+      return "Other";
+  }
+  return "?";
+}
+
+size_t ServiceCatalog::add(Service service) {
+  const auto index = services_.size();
+  assert(index < 250);  // address plan: one /16 v4 and /48 v6 slot each
+
+  // Address plan: service k owns 20.k.0.0/16 and, when IPv6-ready,
+  // 2600:k::/48 style space (k folded into the high half).
+  auto k = static_cast<std::uint32_t>(index);
+  service.prefix4 = net::Prefix4(net::IPv4Addr(20, static_cast<std::uint8_t>(k),
+                                               0, 0),
+                                 16);
+  if (service.v6_readiness > 0.0) {
+    std::uint64_t hi = (0x2600ull << 48) | (static_cast<std::uint64_t>(k) << 16);
+    service.prefix6 = net::Prefix6(net::IPv6Addr::from_halves(hi, 0), 48);
+  } else {
+    service.prefix6.reset();
+  }
+
+  as_map_.announce(service.prefix4, service.asn);
+  if (service.prefix6) as_map_.announce(*service.prefix6, service.asn);
+  as_map_.register_name(service.asn, service.name);
+
+  services_.push_back(std::move(service));
+  return index;
+}
+
+Endpoint ServiceCatalog::endpoint(size_t service, int j) const {
+  assert(service < services_.size());
+  assert(j >= 0 && j < kEndpointsPerService);
+  const Service& s = services_[service];
+
+  Endpoint e;
+  // v4: base + (j+1) spread across the /16's third octet for variety.
+  std::uint32_t base = s.prefix4.address().value();
+  e.v4 = net::IPv4Addr(base | (static_cast<std::uint32_t>(j + 1) << 8) |
+                       static_cast<std::uint32_t>(j + 1));
+
+  // Endpoint j is dual-stack iff j falls inside the ready share. Using the
+  // index (not a coin flip) keeps endpoint capabilities stable across the
+  // whole simulation, like real infrastructure.
+  bool dual = s.prefix6 &&
+              j < static_cast<int>(s.v6_readiness * kEndpointsPerService + 0.5);
+  if (dual) {
+    std::uint64_t hi = s.prefix6->address().high64() |
+                       static_cast<std::uint64_t>(j + 1);
+    e.v6 = net::IPv6Addr::from_halves(hi, static_cast<std::uint64_t>(j + 1));
+  }
+  return e;
+}
+
+std::string ServiceCatalog::reverse_dns(const net::IpAddr& addr) const {
+  auto asn = as_map_.lookup(addr);
+  if (!asn) return {};
+  auto idx = find_by_asn(*asn);
+  return idx ? services_[*idx].rdns_domain : std::string{};
+}
+
+std::optional<size_t> ServiceCatalog::find_by_asn(net::Asn asn) const {
+  for (size_t i = 0; i < services_.size(); ++i)
+    if (services_[i].asn == asn) return i;
+  return std::nullopt;
+}
+
+namespace {
+
+Service make(std::string name, std::string rdns, net::Asn asn,
+             ServiceCategory cat, TrafficProfile profile, double v6,
+             double popularity) {
+  Service s;
+  s.name = std::move(name);
+  s.rdns_domain = std::move(rdns);
+  s.asn = asn;
+  s.category = cat;
+  s.profile = profile;
+  s.v6_readiness = v6;
+  s.popularity = popularity;
+  return s;
+}
+
+}  // namespace
+
+ServiceCatalog build_paper_catalog() {
+  using C = ServiceCategory;
+  using P = TrafficProfile;
+  ServiceCatalog cat;
+
+  // --- Hosting and Cloud Providers (Fig. 4, top panel, ordered by median
+  // IPv6 byte fraction). Readiness values are calibrated to the medians the
+  // box plots show.
+  cat.add(make("FASTLY", "fastly.net", 54113, C::hosting_cloud, P::web, 0.95, 3.0));
+  cat.add(make("CLOUDFLARENET", "cloudflare.com", 13335, C::hosting_cloud, P::web, 0.92, 4.0));
+  cat.add(make("AKAMAI-ASN1", "akamaitechnologies.com", 20940, C::hosting_cloud, P::web, 0.85, 3.0));
+  cat.add(make("CDN77", "cdn77.com", 60068, C::hosting_cloud, P::web, 0.80, 1.5));
+  cat.add(make("QWILTED-PROD-01", "qwilt.com", 20253, C::hosting_cloud, P::streaming, 0.75, 1.0));
+  cat.add(make("MICROSOFT-CORP-MSN-AS-BLOCK", "microsoft.com", 8075, C::hosting_cloud, P::web, 0.70, 2.5));
+  cat.add(make("CLOUDFLARESPECTRUM", "cloudflare.com", 209242, C::hosting_cloud, P::web, 0.60, 1.0));
+  cat.add(make("AMAZON-02", "amazonaws.com", 16509, C::hosting_cloud, P::web, 0.50, 4.0));
+  cat.add(make("ZEN-ECN", "zenlayer.net", 21859, C::hosting_cloud, P::web, 0.45, 0.8));
+  cat.add(make("GOOGLE-CLOUD-PLATFORM", "googleusercontent.com", 396982, C::hosting_cloud, P::web, 0.45, 2.5));
+  cat.add(make("AMAZON-AES", "amazonaws.com", 14618, C::hosting_cloud, P::web, 0.35, 1.5));
+  cat.add(make("ACE-AS-AP", "ace.ph", 139341, C::hosting_cloud, P::web, 0.30, 0.5));
+  cat.add(make("OVH", "ovh.net", 16276, C::hosting_cloud, P::web, 0.05, 0.8));
+  cat.add(make("DIGITALOCEAN-ASN", "digitalocean.com", 14061, C::hosting_cloud, P::web, 0.05, 0.8));
+  cat.add(make("LEASEWEB-NL-AMS-01", "leaseweb.net", 60781, C::hosting_cloud, P::web, 0.04, 0.6));
+  cat.add(make("AKAMAI-AS", "akamaitechnologies.com", 16625, C::hosting_cloud, P::web, 0.10, 1.5));
+  cat.add(make("i3Dnet", "i3d.net", 49544, C::hosting_cloud, P::gaming, 0.0, 0.6));
+
+  // --- Software Development.
+  cat.add(make("MICROSOFT-CORP-AS", "microsoft.com", 8068, C::software, P::background, 0.75, 2.0));
+  cat.add(make("APPLE-AUSTIN", "aaplimg.com", 6185, C::software, P::download, 0.70, 2.5));
+  cat.add(make("APPLE-ENGINEERING", "apple.com", 714, C::software, P::background, 0.60, 2.0));
+  cat.add(make("ZOOM-VIDEO-COMM-AS", "zoom.us", 30103, C::software, P::call, 0.0, 2.0));
+
+  // --- ISPs (consistently low medians, none above 50%).
+  cat.add(make("CHINA169-Backbone", "china169.net", 4837, C::isp, P::web, 0.20, 0.5));
+  cat.add(make("CHINANET-BACKBONE", "chinanet.cn", 4134, C::isp, P::web, 0.15, 0.5));
+  cat.add(make("ATT-INTERNET4", "sbcglobal.net", 7018, C::isp, P::web, 0.15, 0.8));
+  cat.add(make("COMCAST-7922", "comcast.net", 7922, C::isp, P::web, 0.10, 0.8));
+  cat.add(make("FRONTIER-FRTR", "frontiernet.net", 5650, C::isp, P::web, 0.02, 0.6));
+
+  // --- Web and Social Media (medians above 90%, except ByteDance).
+  cat.add(make("WIKIMEDIA", "wikimedia.org", 14907, C::web_social, P::web, 0.97, 1.5));
+  cat.add(make("FACEBOOK", "fbcdn.net", 32934, C::web_social, P::web, 0.95, 3.5));
+  cat.add(make("GOOGLE", "1e100.net", 15169, C::web_social, P::streaming, 0.93, 4.5));
+  cat.add(make("BYTEDANCE", "bytefcdn.com", 396986, C::web_social, P::streaming, 0.15, 2.5));
+
+  // --- Other (streaming/download heavy hitters + laggards called out in
+  // §3.2/§3.4: Valve, Netflix, Apple lead IPv6-heavy days; Twitch, Zoom
+  // dominate IPv4-heavy days; USC and GitHub generate no IPv6 at all).
+  cat.add(make("AS-SSI", "nflxvideo.net", 2906, C::other, P::streaming, 0.90, 3.5));
+  cat.add(make("VALVE-CORPORATION", "steamcontent.com", 32590, C::other, P::download, 0.85, 2.5));
+  cat.add(make("NETFLIX-ASN", "netflix.com", 40027, C::other, P::streaming, 0.80, 2.0));
+  cat.add(make("INTERNET-ARCHIVE", "archive.org", 7941, C::other, P::download, 0.30, 0.8));
+  cat.add(make("USC-AS", "usc.edu", 47, C::other, P::web, 0.0, 1.2));
+  cat.add(make("TWITCH", "justin.tv", 46489, C::other, P::streaming, 0.0, 2.5));
+  cat.add(make("GITHUB", "github.com", 36459, C::other, P::download, 0.0, 1.5));
+  cat.add(make("AUTOMATTIC", "wp.com", 2635, C::other, P::web, 0.0, 1.0));
+
+  return cat;
+}
+
+}  // namespace nbv6::traffic

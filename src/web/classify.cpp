@@ -1,0 +1,107 @@
+#include "web/classify.h"
+
+namespace nbv6::web {
+
+std::string_view to_string(SiteClass c) {
+  switch (c) {
+    case SiteClass::loading_failure_nxdomain:
+      return "Loading-Failure (NXDOMAIN)";
+    case SiteClass::loading_failure_other:
+      return "Loading-Failure (Others)";
+    case SiteClass::unknown_primary:
+      return "Unknown Primary Domain";
+    case SiteClass::ipv4_only:
+      return "IPv4-only (A-only domain)";
+    case SiteClass::ipv6_partial:
+      return "IPv6-partial (some A-only resources)";
+    case SiteClass::ipv6_full:
+      return "IPv6-full (AAAA for all resources)";
+  }
+  return "?";
+}
+
+SiteClassification classify(const SiteCrawl& crawl) {
+  SiteClassification out;
+
+  if (crawl.fate == SiteFate::nxdomain) {
+    out.cls = SiteClass::loading_failure_nxdomain;
+    return out;
+  }
+  if (crawl.fate == SiteFate::other_failure) {
+    out.cls = SiteClass::loading_failure_other;
+    return out;
+  }
+  if (crawl.unknown_primary) {
+    out.cls = SiteClass::unknown_primary;
+    return out;
+  }
+
+  bool any_v4_used = crawl.main_used == net::Family::v4;
+  for (const auto& r : crawl.resources) {
+    if (r.failed) continue;  // failure is orthogonal to IP version (§4.2)
+    ++out.total_resources;
+    if (r.has_a && !r.has_aaaa) ++out.v4only_resources;
+    if (r.used == net::Family::v4) any_v4_used = true;
+  }
+  out.v4only_fraction =
+      out.total_resources == 0
+          ? 0.0
+          : static_cast<double>(out.v4only_resources) / out.total_resources;
+
+  if (!crawl.main_has_aaaa) {
+    out.cls = SiteClass::ipv4_only;
+    return out;
+  }
+  out.cls = out.v4only_resources > 0 ? SiteClass::ipv6_partial
+                                     : SiteClass::ipv6_full;
+  if (out.cls == SiteClass::ipv6_full) out.browser_used_v4 = any_v4_used;
+  return out;
+}
+
+ClassificationCounts tabulate(std::span<const SiteClassification> cls) {
+  ClassificationCounts c;
+  c.total = static_cast<int>(cls.size());
+  for (const auto& s : cls) {
+    switch (s.cls) {
+      case SiteClass::loading_failure_nxdomain:
+        ++c.nxdomain;
+        break;
+      case SiteClass::loading_failure_other:
+        ++c.other_failure;
+        break;
+      case SiteClass::unknown_primary:
+        ++c.connection_success;
+        ++c.unknown_primary;
+        break;
+      case SiteClass::ipv4_only:
+        ++c.connection_success;
+        ++c.ipv4_only;
+        break;
+      case SiteClass::ipv6_partial:
+        ++c.connection_success;
+        ++c.aaaa_enabled;
+        ++c.ipv6_partial;
+        break;
+      case SiteClass::ipv6_full:
+        ++c.connection_success;
+        ++c.aaaa_enabled;
+        ++c.ipv6_full;
+        if (s.browser_used_v4)
+          ++c.full_browser_used_v4;
+        else
+          ++c.full_browser_used_v6_only;
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<SiteClassification> classify_all(
+    std::span<const SiteCrawl> crawls) {
+  std::vector<SiteClassification> out;
+  out.reserve(crawls.size());
+  for (const auto& c : crawls) out.push_back(classify(c));
+  return out;
+}
+
+}  // namespace nbv6::web

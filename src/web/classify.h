@@ -1,0 +1,71 @@
+// Degrees-of-IPv6-support classification (§4.2).
+//
+// The paper's taxonomy applied to a crawl: loading failures (NXDOMAIN vs
+// other) are set aside; reachable sites split into IPv4-only (no AAAA on
+// the main domain), IPv6-partial (AAAA main but some A-only resources),
+// and IPv6-full (AAAA everywhere); full sites further split by whether the
+// browser actually used IPv6 for everything or IPv4 won a race somewhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "web/crawler.h"
+
+namespace nbv6::web {
+
+enum class SiteClass : std::uint8_t {
+  loading_failure_nxdomain,
+  loading_failure_other,
+  unknown_primary,
+  ipv4_only,
+  ipv6_partial,
+  ipv6_full,
+};
+std::string_view to_string(SiteClass c);
+
+struct SiteClassification {
+  SiteClass cls = SiteClass::loading_failure_nxdomain;
+  /// Successfully resolved resources (failures excluded, per §4.2).
+  int total_resources = 0;
+  /// Resources with an A record but no AAAA.
+  int v4only_resources = 0;
+  /// v4only / total, 0 when no resources.
+  double v4only_fraction = 0.0;
+  /// For IPv6-full sites: did any fetch (main or resource) ride IPv4?
+  bool browser_used_v4 = false;
+};
+
+/// Classify one crawl result.
+SiteClassification classify(const SiteCrawl& crawl);
+
+/// Aggregate counts over a crawl set — the rows of Figure 5's table.
+struct ClassificationCounts {
+  int total = 0;
+  int nxdomain = 0;
+  int other_failure = 0;
+  int connection_success = 0;
+  int unknown_primary = 0;
+  int ipv4_only = 0;
+  int aaaa_enabled = 0;  ///< ipv6_partial + ipv6_full
+  int ipv6_partial = 0;
+  int ipv6_full = 0;
+  int full_browser_used_v4 = 0;
+  int full_browser_used_v6_only = 0;
+
+  /// Percentages relative to connection successes, as the paper reports.
+  [[nodiscard]] double pct_of_success(int n) const {
+    return connection_success == 0
+               ? 0.0
+               : 100.0 * n / static_cast<double>(connection_success);
+  }
+};
+
+ClassificationCounts tabulate(std::span<const SiteClassification> cls);
+
+/// Classify every crawl.
+std::vector<SiteClassification> classify_all(std::span<const SiteCrawl> crawls);
+
+}  // namespace nbv6::web

@@ -1,0 +1,59 @@
+// Public Suffix List and eTLD+1 (registrable domain) extraction.
+//
+// The paper's unit of "site" and of resource-domain aggregation is the
+// eTLD+1: "a domain name consisting of one label and a public suffix"
+// (§4.1, following the Mozilla PSL). Same-site link-click crawling, the
+// first- vs third-party split, span/median-contribution, and multi-cloud
+// tenant grouping all key on it.
+//
+// This is a self-contained PSL engine with the standard matching rules
+// (normal rules, wildcard rules like *.ck, exception rules like !www.ck)
+// preloaded with a representative rule set; callers can add rules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace nbv6::web {
+
+class PublicSuffixList {
+ public:
+  /// An empty list (only the implicit "*" root rule applies).
+  PublicSuffixList() = default;
+
+  /// The built-in rule set: gTLDs, common ccTLDs and second-level public
+  /// suffixes, a wildcard rule, and an exception rule, enough to exercise
+  /// every branch of the algorithm.
+  static PublicSuffixList builtin();
+
+  /// Add one rule in PSL syntax ("com", "co.uk", "*.ck", "!www.ck").
+  void add_rule(std::string_view rule);
+
+  /// Longest matching public suffix of `host` ("a.b.co.uk" -> "co.uk").
+  /// Per the PSL algorithm, an unlisted TLD matches the implicit "*" rule.
+  [[nodiscard]] std::string public_suffix(std::string_view host) const;
+
+  /// Registrable domain: public suffix plus one label
+  /// ("x.assets.example.co.uk" -> "example.co.uk"). nullopt when `host`
+  /// itself is a public suffix (no registrable domain exists).
+  [[nodiscard]] std::optional<std::string> registrable_domain(
+      std::string_view host) const;
+
+  /// True when `a` and `b` share their registrable domain — the paper's
+  /// same-site test for link clicks and the first-party test for
+  /// resources.
+  [[nodiscard]] bool same_site(std::string_view a, std::string_view b) const;
+
+ private:
+  std::unordered_set<std::string> rules_;
+  std::unordered_set<std::string> wildcard_rules_;   // stored without "*."
+  std::unordered_set<std::string> exception_rules_;  // stored without "!"
+};
+
+/// Split a hostname into labels ("a.b.c" -> {"a","b","c"}).
+std::vector<std::string_view> split_labels(std::string_view host);
+
+}  // namespace nbv6::web

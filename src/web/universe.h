@@ -1,0 +1,233 @@
+// The synthetic web universe: the stand-in for the live Tranco top-100k
+// crawl of §4 and §5.
+//
+// The generator builds, deterministically from a seed, a population of
+// top-list websites and shared third-party resource domains whose joint
+// structure matches the causal mechanisms the paper measures:
+//
+//   - Sites occupy Tranco-like ranks; a site's main-domain AAAA probability
+//     rises toward the top of the list (Fig. 6's gradient).
+//   - Every page embeds first-party subdomain resources and third-party
+//     resources drawn Zipf-heavily from a shared pool, so a few domains
+//     (ads, trackers, CDNs) accumulate enormous span while most appear on
+//     one or two sites (Fig. 8's long tail).
+//   - Third-party adoption varies by category — advertising lags hardest —
+//     which is what makes three-quarters of AAAA-enabled sites only
+//     IPv6-partial (Figs. 5, 9).
+//   - Every FQDN is hosted somewhere: a cloud provider + service (CNAME
+//     chain to the service suffix) or self-hosted. Service IPv6 policy
+//     drives resource-domain AAAA presence, giving §5 its provider and
+//     service contrasts, including the Bunnyway/Datacamp and Akamai
+//     split-attribution quirks.
+//   - A latent adoption propensity per FQDN plus per-epoch thresholds
+//     yields slow, consistent growth across the paper's three measurement
+//     epochs (Oct 2024, Apr 2025, Jul 2025).
+//
+// Everything is registered in a dns::ZoneDb per epoch, so the crawler and
+// the cloud analyses operate purely through DNS + BGP lookups, exactly like
+// the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/providers.h"
+#include "dns/zone.h"
+#include "stats/rng.h"
+#include "web/psl.h"
+
+namespace nbv6::web {
+
+/// Resource types as browsers (and Fig. 18) classify fetches.
+enum class ResourceType : std::uint8_t {
+  image,
+  script,
+  stylesheet,
+  xmlhttprequest,
+  sub_frame,
+  font,
+  media,
+  beacon,
+};
+constexpr int kResourceTypeCount = 8;
+std::string_view to_string(ResourceType t);
+
+/// Third-party domain categories, following the VirusTotal taxonomy the
+/// paper applies to heavy hitters (Fig. 9).
+enum class DomainCategory : std::uint8_t {
+  ads,
+  trackers,
+  analytics,
+  content_delivery,
+  information_technology,
+  social,
+  first_party,  ///< site-owned domains (not third-party at all)
+};
+constexpr int kDomainCategoryCount = 7;
+std::string_view to_string(DomainCategory c);
+
+/// One measurement epoch. The paper's three runs.
+enum class Epoch : std::uint8_t { oct2024 = 0, apr2025 = 1, jul2025 = 2 };
+constexpr int kEpochCount = 3;
+std::string_view to_string(Epoch e);
+
+/// A fully qualified domain name in the universe.
+struct Fqdn {
+  std::string name;
+  std::uint32_t tenant = 0;   ///< owning eTLD+1 (index into tenants())
+  int provider = -1;          ///< cloud provider index; -1 = self-hosted
+  int service = -1;           ///< provider service index; -1 = generic hosting
+  double adopt_u = 1.0;       ///< latent adoption propensity in [0,1)
+  double adoption_rate = 0;   ///< epoch-0 threshold; drifts upward per epoch
+};
+
+/// An eTLD+1 and the FQDNs under it.
+struct Tenant {
+  std::string etld1;
+  DomainCategory category = DomainCategory::first_party;
+  std::vector<std::uint32_t> fqdns;
+};
+
+struct ResourceRef {
+  std::uint32_t fqdn = 0;
+  ResourceType type = ResourceType::image;
+};
+
+struct Page {
+  std::vector<ResourceRef> resources;
+  /// Indices of same-site pages this page links to.
+  std::vector<std::uint32_t> internal_links;
+  /// FQDNs of off-site link targets (the crawler must refuse these).
+  std::vector<std::uint32_t> external_links;
+};
+
+/// Why a site fails to load, when it does (§4.2's loading-failure split).
+enum class SiteFate : std::uint8_t { ok, nxdomain, other_failure };
+
+struct Site {
+  std::uint32_t tenant = 0;
+  std::uint32_t main_fqdn = 0;
+  int rank = 0;  ///< 0-based Tranco-style rank
+  double fail_u = 1.0;  ///< latent failure propensity
+  /// Optional redirect: main_fqdn 301s here before content loads.
+  std::optional<std::uint32_t> redirect_to;
+  std::vector<Page> pages;  ///< pages[0] is the main page
+};
+
+struct UniverseConfig {
+  int site_count = 100'000;
+  /// Third-party tenant pool size as a fraction of site count.
+  double third_party_ratio = 0.35;
+  /// Zipf exponent for third-party popularity (span heavy-tail).
+  double third_party_zipf = 1.15;
+  /// Pages per site beyond the main page (the crawler clicks 5).
+  int subpages_min = 4;
+  int subpages_max = 7;
+  int resources_per_page_min = 6;
+  int resources_per_page_max = 26;
+  /// First-party subdomains per site and the AAAA rate they enjoy when the
+  /// site's main domain is AAAA-enabled (set below 1.0 to produce §4.3's
+  /// rare first-party-only-partial sites).
+  int first_party_fqdns = 3;
+  double first_party_adoption_given_site_v6 = 0.985;
+  /// Site main-domain adoption is max(own choice, hosting default): the
+  /// site's own propensity rises toward the top of the list, and sites on
+  /// IPv6-forward hosts get AAAA by default (the §5 mechanism).
+  /// own_choice(rank) = base + boost * exp(-rank/decay).
+  double site_adoption_base = 0.18;
+  double site_adoption_boost = 0.42;
+  double site_adoption_decay = 400.0;
+  /// Fraction of sites that embed an ads/tracker stack at all; ad-free
+  /// sites are the main source of IPv6-full sites.
+  double ads_site_fraction = 0.55;
+  /// Third-party pool-head domains (below) outside the seeded ad-tech set
+  /// are treated as mature infrastructure with high adoption.
+  int popular_third_party_count = 3000;
+  double popular_third_party_adoption = 0.97;
+  /// Seeded ad-tech heavy hitters stay essentially IPv4-only (Fig. 18).
+  double seed_third_party_adoption = 0.05;
+  /// Loading failures at epoch 0 (grow slightly per epoch as domains rot).
+  double nxdomain_rate = 0.124;
+  double other_failure_rate = 0.0445;
+  /// Per-epoch additive drift on adoption thresholds and failure rates.
+  double epoch_adoption_drift = 0.006;
+  double epoch_failure_drift = 0.006;
+  /// Fraction of site mains hosted in a catalogued cloud (rest self-host).
+  double cloud_hosted_fraction = 0.78;
+  /// Probability a multi-FQDN third-party tenant spreads across providers.
+  double multi_cloud_prob = 0.35;
+  std::uint64_t seed = 0x7eb0'1234;
+};
+
+/// Per-category adoption multipliers (ads lag, social leads).
+double category_adoption_factor(DomainCategory c);
+
+/// Baseline AAAA adoption for a third-party domain of a category when the
+/// hosting choice is left to the tenant (generic/self hosting).
+double category_base_adoption(DomainCategory c);
+
+class Universe {
+ public:
+  explicit Universe(const UniverseConfig& cfg,
+                    const cloud::ProviderCatalog& providers);
+
+  [[nodiscard]] const UniverseConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+  [[nodiscard]] const std::vector<Tenant>& tenants() const { return tenants_; }
+  [[nodiscard]] const std::vector<Fqdn>& fqdns() const { return fqdns_; }
+  [[nodiscard]] const cloud::ProviderCatalog& providers() const {
+    return *providers_;
+  }
+  [[nodiscard]] const PublicSuffixList& psl() const { return psl_; }
+
+  /// Site fate at an epoch (failure rates drift upward).
+  [[nodiscard]] SiteFate fate(const Site& s, Epoch e) const;
+
+  /// Does this FQDN publish an AAAA at this epoch? (A records are
+  /// universal for non-failed names.)
+  [[nodiscard]] bool has_aaaa(std::uint32_t fqdn, Epoch e) const;
+
+  /// Build the DNS zone for an epoch: A/AAAA/CNAME records for every FQDN
+  /// of every non-NXDOMAIN site and all third-party domains, with CNAME
+  /// chains into provider service suffixes and addresses drawn from
+  /// provider space (honouring the Bunnyway-style A-record quirks).
+  [[nodiscard]] dns::ZoneDb build_zone(Epoch e) const;
+
+  /// The VirusTotal-categorizer stand-in: category of an eTLD+1.
+  [[nodiscard]] std::optional<DomainCategory> categorize(
+      std::string_view etld1) const;
+
+  /// Tenant index of an eTLD+1, if present.
+  [[nodiscard]] std::optional<std::uint32_t> find_tenant(
+      std::string_view etld1) const;
+
+ private:
+  void build_third_parties(stats::Rng& rng);
+  void build_sites(stats::Rng& rng);
+  std::uint32_t add_tenant(std::string etld1, DomainCategory cat);
+  std::uint32_t add_fqdn(std::string name, std::uint32_t tenant, int provider,
+                         int service, double rate, stats::Rng& rng);
+  /// Sample a (provider, service) pair; `prefer_cdn` biases toward
+  /// default-on CDN services (top-ranked sites); `service_affinity` is the
+  /// chance a tenant of a service-bearing provider uses a catalogued
+  /// service rather than generic hosting.
+  std::pair<int, int> sample_hosting(stats::Rng& rng, bool prefer_cdn,
+                                     double service_affinity = 0.65);
+
+  UniverseConfig cfg_;
+  const cloud::ProviderCatalog* providers_;
+  PublicSuffixList psl_;
+  std::vector<Site> sites_;
+  std::vector<Tenant> tenants_;
+  std::vector<Fqdn> fqdns_;
+  /// Third-party FQDN ids weighted by Zipf popularity, for page building.
+  std::vector<std::uint32_t> third_party_pool_;
+  std::vector<double> third_party_weights_;
+  /// FQDNs of unpopular tenants, for uniform niche-partner draws.
+  std::vector<std::uint32_t> tail_pool_;
+  std::map<std::string, std::uint32_t, std::less<>> tenant_by_name_;
+};
+
+}  // namespace nbv6::web

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "cloud/analysis.h"
+#include "cloud/providers.h"
+#include "core/cloud_analysis.h"
+#include "core/server_analysis.h"
+#include "web/universe.h"
+
+namespace nbv6::cloud {
+namespace {
+
+// Hand-built records exercising the attribution rules precisely.
+class ProviderBreakdownUnit : public ::testing::Test {
+ protected:
+  DomainRecord rec(const std::string& fqdn, const std::string& etld1,
+                   std::optional<size_t> a_prov,
+                   std::optional<size_t> aaaa_prov) {
+    DomainRecord r;
+    r.fqdn = fqdn;
+    r.etld1 = etld1;
+    r.cname_terminal = fqdn;
+    if (a_prov) r.a_addr = net::IpAddr{catalog_.v4_address(*a_prov, id_)};
+    if (aaaa_prov)
+      r.aaaa_addr = net::IpAddr{catalog_.v6_address(*aaaa_prov, id_)};
+    ++id_;
+    return r;
+  }
+
+  const ProviderBreakdownRow* find(
+      const std::vector<ProviderBreakdownRow>& rows,
+      const std::string& org) {
+    for (const auto& r : rows)
+      if (r.org == org) return &r;
+    return nullptr;
+  }
+
+  ProviderCatalog catalog_;
+  std::uint32_t id_ = 1;
+};
+
+TEST_F(ProviderBreakdownUnit, FullDomainCountsUnderItsOrg) {
+  size_t cf = catalog_.find("Cloudflare, Inc.").value();
+  std::vector<DomainRecord> records{rec("a.example.com", "example.com", cf, cf)};
+  auto rows = provider_breakdown(records, catalog_);
+  auto* row = find(rows, "Cloudflare, Inc.");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->total, 1);
+  EXPECT_EQ(row->v6_full, 1);
+  EXPECT_EQ(rows[0].org, "Overall");
+  EXPECT_EQ(rows[0].v6_full, 1);
+}
+
+TEST_F(ProviderBreakdownUnit, V4OnlyDomain) {
+  size_t ovh = catalog_.find("OVH SAS").value();
+  std::vector<DomainRecord> records{
+      rec("b.example.com", "example.com", ovh, std::nullopt)};
+  auto rows = provider_breakdown(records, catalog_);
+  auto* row = find(rows, "OVH SAS");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->v4_only, 1);
+  EXPECT_EQ(row->v6_full, 0);
+}
+
+TEST_F(ProviderBreakdownUnit, SplitFamiliesCountUnderBothOrgs) {
+  // The Bunnyway/Datacamp pattern: A in one org, AAAA in another.
+  size_t bunny =
+      catalog_.find("BUNNYWAY, informacijske storitve d.o.o.").value();
+  size_t datacamp = catalog_.find("Datacamp Limited").value();
+  std::vector<DomainRecord> records{
+      rec("cdn.tenant.net", "tenant.net", datacamp, bunny)};
+  auto rows = provider_breakdown(records, catalog_);
+
+  auto* b = find(rows, "BUNNYWAY, informacijske storitve d.o.o.");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->v6_only, 1);  // only its AAAA lives here
+  auto* d = find(rows, "Datacamp Limited");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->v4_only, 1);  // only its A lives here
+  // Globally the domain is dual-stack.
+  EXPECT_EQ(rows[0].v6_full, 1);
+}
+
+TEST_F(ProviderBreakdownUnit, UnknownSpaceOnlyCountsOverall) {
+  DomainRecord r;
+  r.fqdn = "self.example.org";
+  r.etld1 = "example.org";
+  r.a_addr = net::IpAddr{net::IPv4Addr(93, 0, 0, 1)};  // unannounced space
+  std::vector<DomainRecord> records{r};
+  auto rows = provider_breakdown(records, catalog_);
+  EXPECT_EQ(rows.size(), 1u);  // Overall only
+  EXPECT_EQ(rows[0].v4_only, 1);
+}
+
+TEST_F(ProviderBreakdownUnit, PercentageHelper) {
+  ProviderBreakdownRow row;
+  row.total = 200;
+  EXPECT_DOUBLE_EQ(row.pct(50), 25.0);
+  ProviderBreakdownRow empty;
+  EXPECT_DOUBLE_EQ(empty.pct(0), 0.0);
+}
+
+// --------------------------------------------------- service identification
+
+TEST(ServiceBreakdownUnit, MatchesCnameSuffix) {
+  ProviderCatalog catalog;
+  DomainRecord r1;
+  r1.fqdn = "assets.shop.com";
+  r1.etld1 = "shop.com";
+  r1.cname_terminal = "t1.cloudfront.net";
+  r1.a_addr = net::IpAddr{net::IPv4Addr(41, 0, 0, 1)};
+  r1.aaaa_addr = net::IpAddr{net::IPv6Addr::from_halves(0x2a00ull << 48, 1)};
+
+  DomainRecord r2 = r1;
+  r2.fqdn = "img.shop.com";
+  r2.cname_terminal = "t2.cloudfront.net";
+  r2.aaaa_addr.reset();
+
+  DomainRecord r3 = r1;
+  r3.fqdn = "www.other.com";
+  r3.cname_terminal = "www.other.com";  // no service suffix
+
+  std::vector<DomainRecord> records{r1, r2, r3};
+  auto rows = service_breakdown(records, catalog);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].service_name, "Amazon CloudFront CDN");
+  EXPECT_EQ(rows[0].total, 2);
+  EXPECT_EQ(rows[0].v6_ready, 1);
+  EXPECT_DOUBLE_EQ(rows[0].pct_ready(), 50.0);
+}
+
+TEST(ServiceBreakdownUnit, SuffixRequiresLabelBoundary) {
+  ProviderCatalog catalog;
+  DomainRecord r;
+  r.fqdn = "x.test";
+  r.etld1 = "x.test";
+  r.cname_terminal = "evilcloudfront.net";  // not ".cloudfront.net"
+  r.a_addr = net::IpAddr{net::IPv4Addr(41, 0, 0, 1)};
+  std::vector<DomainRecord> records{r};
+  EXPECT_TRUE(service_breakdown(records, catalog).empty());
+}
+
+// --------------------------------------------------- multi-cloud comparison
+
+class MultiCloudUnit : public ::testing::Test {
+ protected:
+  // Tenant with subdomains on two providers; `full1`/`full2` of them
+  // IPv6-full respectively (one subdomain per provider).
+  void add_tenant(const std::string& etld1, size_t prov1, bool full1,
+                  size_t prov2, bool full2) {
+    auto mk = [&](size_t prov, bool full, int k) {
+      DomainRecord r;
+      r.fqdn = "sub" + std::to_string(k) + "." + etld1;
+      r.etld1 = etld1;
+      r.cname_terminal = r.fqdn;
+      r.a_addr = net::IpAddr{catalog_.v4_address(prov, id_)};
+      if (full) r.aaaa_addr = net::IpAddr{catalog_.v6_address(prov, id_)};
+      ++id_;
+      records_.push_back(std::move(r));
+    };
+    mk(prov1, full1, 1);
+    mk(prov2, full2, 2);
+  }
+
+  ProviderCatalog catalog_;
+  std::vector<DomainRecord> records_;
+  std::uint32_t id_ = 1;
+};
+
+TEST_F(MultiCloudUnit, DetectsConsistentPreference) {
+  size_t cf = catalog_.find("Cloudflare, Inc.").value();
+  size_t ovh = catalog_.find("OVH SAS").value();
+  // 12 tenants, all IPv6-full on Cloudflare and not on OVH.
+  for (int i = 0; i < 12; ++i)
+    add_tenant("tenant" + std::to_string(i) + ".com", cf, true, ovh, false);
+
+  MultiCloudComparison cmp(records_, catalog_);
+  EXPECT_EQ(cmp.multi_cloud_tenant_count(), 12);
+  ASSERT_EQ(cmp.pairs().size(), 1u);
+  const auto& p = cmp.pairs()[0];
+  EXPECT_TRUE(p.comparable);
+  EXPECT_EQ(p.differing_tenants, 12);
+  // org1/org2 order is alphabetical; Cloudflare < OVH.
+  EXPECT_EQ(p.org1, "Cloudflare, Inc.");
+  EXPECT_GT(p.effect_size_r, 0.9);
+  EXPECT_TRUE(p.significant);
+}
+
+TEST_F(MultiCloudUnit, NoDifferenceNotSignificant) {
+  size_t cf = catalog_.find("Cloudflare, Inc.").value();
+  size_t goog = catalog_.find("Google LLC").value();
+  for (int i = 0; i < 10; ++i)
+    add_tenant("t" + std::to_string(i) + ".com", cf, true, goog, true);
+  MultiCloudComparison cmp(records_, catalog_);
+  ASSERT_EQ(cmp.pairs().size(), 1u);
+  EXPECT_FALSE(cmp.pairs()[0].comparable);  // zero differing tenants
+  EXPECT_FALSE(cmp.pairs()[0].significant);
+}
+
+TEST_F(MultiCloudUnit, SingleCloudTenantsIgnored) {
+  size_t cf = catalog_.find("Cloudflare, Inc.").value();
+  DomainRecord r;
+  r.fqdn = "only.solo.com";
+  r.etld1 = "solo.com";
+  r.cname_terminal = r.fqdn;
+  r.a_addr = net::IpAddr{catalog_.v4_address(cf, 1)};
+  records_.push_back(r);
+  MultiCloudComparison cmp(records_, catalog_);
+  EXPECT_EQ(cmp.multi_cloud_tenant_count(), 0);
+}
+
+TEST_F(MultiCloudUnit, MergeMapJoinsEntities) {
+  size_t cf1 = catalog_.find("Cloudflare, Inc.").value();
+  size_t cf2 = catalog_.find("Cloudflare London, LLC").value();
+  size_t ovh = catalog_.find("OVH SAS").value();
+  for (int i = 0; i < 6; ++i)
+    add_tenant("m" + std::to_string(i) + ".com", i % 2 ? cf1 : cf2, true, ovh,
+               false);
+
+  auto merge = core::paper_org_merge_map();
+  MultiCloudComparison cmp(records_, catalog_, merge);
+  bool found = false;
+  for (const auto& p : cmp.pairs()) {
+    if (p.org1 == "Cloudflare (All)" || p.org2 == "Cloudflare (All)") {
+      found = true;
+      EXPECT_EQ(p.differing_tenants, 6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MultiCloudUnit, WinsCountsSignificantPairs) {
+  size_t cf = catalog_.find("Cloudflare, Inc.").value();
+  size_t ovh = catalog_.find("OVH SAS").value();
+  size_t digo = catalog_.find("DigitalOcean, LLC").value();
+  for (int i = 0; i < 10; ++i) {
+    add_tenant("x" + std::to_string(i) + ".com", cf, true, ovh, false);
+    add_tenant("y" + std::to_string(i) + ".com", cf, true, digo, false);
+  }
+  MultiCloudComparison cmp(records_, catalog_);
+  EXPECT_EQ(cmp.wins("Cloudflare, Inc."), 2);
+  EXPECT_EQ(cmp.wins("OVH SAS"), 0);
+}
+
+// --------------------------------------------------- end-to-end (core glue)
+
+TEST(CloudEndToEnd, SurveyFeedsCloudReport) {
+  cloud::ProviderCatalog providers;
+  web::UniverseConfig cfg;
+  cfg.site_count = 1500;
+  cfg.seed = 31337;
+  web::Universe universe(cfg, providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 5);
+  auto report = core::analyze_cloud(universe, survey);
+
+  ASSERT_FALSE(report.providers.empty());
+  EXPECT_EQ(report.providers[0].org, "Overall");
+  EXPECT_GT(report.providers[0].total, 1000);
+
+  // Per-row class counts partition each row's total.
+  for (const auto& row : report.providers) {
+    EXPECT_EQ(row.total, row.v4_only + row.v6_full + row.v6_only) << row.org;
+  }
+
+  // Cloudflare should show far higher IPv6-full share than OVH.
+  const cloud::ProviderBreakdownRow* cf = nullptr;
+  const cloud::ProviderBreakdownRow* ovh = nullptr;
+  for (const auto& row : report.providers) {
+    if (row.org == "Cloudflare, Inc.") cf = &row;
+    if (row.org == "OVH SAS") ovh = &row;
+  }
+  ASSERT_NE(cf, nullptr);
+  if (ovh != nullptr && ovh->total > 30) {
+    EXPECT_GT(cf->pct(cf->v6_full), ovh->pct(ovh->v6_full));
+  }
+
+  // Service table: always-on services read ~100% ready.
+  bool saw_front_door = false;
+  for (const auto& svc : report.services) {
+    if (svc.service_name == "Azure Front Door CDN" && svc.total >= 5) {
+      saw_front_door = true;
+      EXPECT_GT(svc.pct_ready(), 95.0);
+    }
+    if (svc.service_name == "Amazon S3" && svc.total >= 20) {
+      EXPECT_LT(svc.pct_ready(), 10.0);
+    }
+  }
+  (void)saw_front_door;  // presence depends on sampling at this scale
+}
+
+TEST(CloudEndToEnd, MultiCloudComparisonOnUniverse) {
+  cloud::ProviderCatalog providers;
+  web::UniverseConfig cfg;
+  cfg.site_count = 1500;
+  cfg.multi_cloud_prob = 0.5;
+  cfg.seed = 424242;
+  web::Universe universe(cfg, providers);
+  auto survey = core::run_server_survey(universe, web::Epoch::jul2025, 6);
+  auto records = core::build_domain_records(universe, survey);
+  MultiCloudComparison cmp(records, providers, core::paper_org_merge_map());
+
+  EXPECT_GT(cmp.multi_cloud_tenant_count(), 20);
+  EXPECT_GE(cmp.orgs().size(), 3u);
+  int comparable = 0;
+  for (const auto& p : cmp.pairs()) comparable += p.comparable;
+  EXPECT_GT(comparable, 0);
+  for (const auto& p : cmp.pairs()) {
+    EXPECT_GE(p.effect_size_r, -1.0);
+    EXPECT_LE(p.effect_size_r, 1.0);
+    if (p.significant) {
+      EXPECT_TRUE(p.comparable);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbv6::cloud

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "dns/resolver.h"
+#include "dns/zone.h"
+
+namespace nbv6::dns {
+namespace {
+
+net::IPv4Addr v4(std::uint8_t d) { return net::IPv4Addr(192, 0, 2, d); }
+net::IPv6Addr v6(std::uint64_t lo) {
+  return net::IPv6Addr::from_halves(0x20010db8ull << 32, lo);
+}
+
+TEST(Canonicalize, LowercasesAndStripsDot) {
+  EXPECT_EQ(canonicalize("WWW.Example.COM."), "www.example.com");
+  EXPECT_EQ(canonicalize("a.b"), "a.b");
+  EXPECT_EQ(canonicalize(""), "");
+}
+
+TEST(ZoneDb, AddAndReadBack) {
+  ZoneDb zone;
+  EXPECT_TRUE(zone.add_a("www.example.com", v4(1)));
+  EXPECT_TRUE(zone.add_aaaa("www.example.com", v6(1)));
+  EXPECT_EQ(zone.a_records("www.example.com").size(), 1u);
+  EXPECT_EQ(zone.aaaa_records("WWW.EXAMPLE.COM").size(), 1u);
+  EXPECT_TRUE(zone.exists("www.example.com"));
+  EXPECT_FALSE(zone.exists("other.example.com"));
+}
+
+TEST(ZoneDb, DuplicateAddressesCollapse) {
+  ZoneDb zone;
+  zone.add_a("x.test", v4(1));
+  zone.add_a("x.test", v4(1));
+  zone.add_a("x.test", v4(2));
+  EXPECT_EQ(zone.a_records("x.test").size(), 2u);
+}
+
+TEST(ZoneDb, CnameExclusivity) {
+  ZoneDb zone;
+  EXPECT_TRUE(zone.add_cname("alias.test", "target.test"));
+  // RFC 1034: no other data beside a CNAME.
+  EXPECT_FALSE(zone.add_a("alias.test", v4(1)));
+  EXPECT_FALSE(zone.add_aaaa("alias.test", v6(1)));
+  // And no CNAME on a name with addresses.
+  zone.add_a("addr.test", v4(2));
+  EXPECT_FALSE(zone.add_cname("addr.test", "elsewhere.test"));
+  // Re-adding the same CNAME is fine; a different one is not.
+  EXPECT_TRUE(zone.add_cname("alias.test", "target.test"));
+  EXPECT_FALSE(zone.add_cname("alias.test", "other.test"));
+}
+
+TEST(ZoneDb, RemoveCleansUp) {
+  ZoneDb zone;
+  zone.add_a("x.test", v4(1));
+  EXPECT_EQ(zone.remove("x.test", RecordType::a), 1u);
+  EXPECT_FALSE(zone.exists("x.test"));
+  EXPECT_EQ(zone.remove("x.test", RecordType::a), 0u);
+}
+
+TEST(ZoneDb, RemoveAaaaOnlyDowngrades) {
+  ZoneDb zone;
+  zone.add_a("dual.test", v4(1));
+  zone.add_aaaa("dual.test", v6(1));
+  EXPECT_EQ(zone.remove("dual.test", RecordType::aaaa), 1u);
+  EXPECT_TRUE(zone.exists("dual.test"));
+  EXPECT_TRUE(zone.aaaa_records("dual.test").empty());
+  EXPECT_EQ(zone.a_records("dual.test").size(), 1u);
+}
+
+TEST(Resolver, DirectAddressLookup) {
+  ZoneDb zone;
+  zone.add_a("host.test", v4(9));
+  zone.add_aaaa("host.test", v6(9));
+  Resolver r(zone);
+  auto a = r.resolve_a("host.test");
+  EXPECT_EQ(a.status, ResolveStatus::ok);
+  ASSERT_EQ(a.addresses.size(), 1u);
+  EXPECT_TRUE(a.addresses[0].is_v4());
+  auto aaaa = r.resolve_aaaa("host.test");
+  EXPECT_EQ(aaaa.status, ResolveStatus::ok);
+  EXPECT_TRUE(aaaa.addresses[0].is_v6());
+}
+
+TEST(Resolver, NxdomainVsNodata) {
+  ZoneDb zone;
+  zone.add_a("v4only.test", v4(1));
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_aaaa("v4only.test").status, ResolveStatus::nodata);
+  EXPECT_EQ(r.resolve_a("missing.test").status, ResolveStatus::nxdomain);
+}
+
+TEST(Resolver, FollowsCnameChain) {
+  ZoneDb zone;
+  zone.add_cname("www.site.test", "edge.cdn.test");
+  zone.add_cname("edge.cdn.test", "pop.cdn.test");
+  zone.add_a("pop.cdn.test", v4(5));
+  Resolver r(zone);
+  auto res = r.resolve_a("www.site.test");
+  EXPECT_EQ(res.status, ResolveStatus::ok);
+  ASSERT_EQ(res.chain.size(), 3u);
+  EXPECT_EQ(res.chain.front(), "www.site.test");
+  EXPECT_EQ(res.terminal(), "pop.cdn.test");
+}
+
+TEST(Resolver, CnameToNxdomain) {
+  ZoneDb zone;
+  zone.add_cname("www.site.test", "gone.test");
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_a("www.site.test").status, ResolveStatus::nxdomain);
+}
+
+TEST(Resolver, CnameToNodata) {
+  ZoneDb zone;
+  zone.add_cname("www.site.test", "v4only.test");
+  zone.add_a("v4only.test", v4(1));
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_aaaa("www.site.test").status, ResolveStatus::nodata);
+  EXPECT_EQ(r.resolve_a("www.site.test").status, ResolveStatus::ok);
+}
+
+TEST(Resolver, DetectsLoop) {
+  ZoneDb zone;
+  zone.add_cname("a.test", "b.test");
+  zone.add_cname("b.test", "a.test");
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_a("a.test").status, ResolveStatus::cname_loop);
+}
+
+TEST(Resolver, SelfLoop) {
+  ZoneDb zone;
+  // A CNAME pointing at itself: add_cname normalizes but permits it
+  // (it's a data error the resolver must survive).
+  zone.add_cname("self.test", "self.test");
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_a("self.test").status, ResolveStatus::cname_loop);
+}
+
+TEST(Resolver, DualStackView) {
+  ZoneDb zone;
+  zone.add_a("dual.test", v4(1));
+  zone.add_aaaa("dual.test", v6(1));
+  zone.add_a("v4.test", v4(2));
+  zone.add_aaaa("v6.test", v6(2));
+  Resolver r(zone);
+
+  auto dual = r.resolve_dual("dual.test");
+  EXPECT_TRUE(dual.has_v4());
+  EXPECT_TRUE(dual.has_v6());
+  EXPECT_TRUE(dual.reachable());
+
+  auto v4only = r.resolve_dual("v4.test");
+  EXPECT_TRUE(v4only.has_v4());
+  EXPECT_FALSE(v4only.has_v6());
+  EXPECT_TRUE(v4only.reachable());
+
+  auto v6only = r.resolve_dual("v6.test");
+  EXPECT_FALSE(v6only.has_v4());
+  EXPECT_TRUE(v6only.has_v6());
+
+  auto missing = r.resolve_dual("nope.test");
+  EXPECT_FALSE(missing.reachable());
+}
+
+TEST(Resolver, CaseInsensitiveQueries) {
+  ZoneDb zone;
+  zone.add_a("MiXeD.Test", v4(3));
+  Resolver r(zone);
+  EXPECT_EQ(r.resolve_a("mixed.test").status, ResolveStatus::ok);
+  EXPECT_EQ(r.resolve_a("MIXED.TEST.").status, ResolveStatus::ok);
+}
+
+TEST(ResolveStatusNames, ToString) {
+  EXPECT_EQ(to_string(ResolveStatus::ok), "ok");
+  EXPECT_EQ(to_string(ResolveStatus::nodata), "nodata");
+  EXPECT_EQ(to_string(ResolveStatus::nxdomain), "nxdomain");
+  EXPECT_EQ(to_string(ResolveStatus::cname_loop), "cname_loop");
+}
+
+}  // namespace
+}  // namespace nbv6::dns

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "flowmon/conntrack.h"
+#include "flowmon/monitor.h"
+
+namespace nbv6::flowmon {
+namespace {
+
+net::FlowKey make_key(std::uint8_t host, std::uint16_t port,
+                      bool v6 = false) {
+  net::FlowKey k;
+  k.protocol = net::Protocol::tcp;
+  if (v6) {
+    k.src = net::IPv6Addr::from_halves(0x26008800ull << 32, host);
+    k.dst = net::IPv6Addr::from_halves(0x2600ull << 48, host);
+  } else {
+    k.src = net::IPv4Addr(192, 168, 1, host);
+    k.dst = net::IPv4Addr(20, 0, 0, host);
+  }
+  k.src_port = port;
+  k.dst_port = 443;
+  return k;
+}
+
+TEST(Conntrack, NewAndDestroyEventsFire) {
+  ConntrackTable table;
+  int news = 0, destroys = 0;
+  ConntrackListener l;
+  l.on_new = [&](const net::FlowKey&, Timestamp) { ++news; };
+  l.on_destroy = [&](const FlowRecord&) { ++destroys; };
+  table.subscribe(std::move(l));
+
+  auto k = make_key(1, 1000);
+  table.open(k, 10, Scope::external);
+  EXPECT_EQ(news, 1);
+  EXPECT_EQ(table.live_count(), 1u);
+  table.close(k, 20);
+  EXPECT_EQ(destroys, 1);
+  EXPECT_EQ(table.live_count(), 0u);
+}
+
+TEST(Conntrack, ReopenLiveFlowIsNoop) {
+  ConntrackTable table;
+  int news = 0;
+  ConntrackListener l;
+  l.on_new = [&](const net::FlowKey&, Timestamp) { ++news; };
+  table.subscribe(std::move(l));
+  auto k = make_key(1, 1000);
+  table.open(k, 10, Scope::external);
+  table.open(k, 15, Scope::external);
+  EXPECT_EQ(news, 1);
+}
+
+TEST(Conntrack, AccountingAccumulates) {
+  ConntrackTable table;
+  FlowRecord last;
+  ConntrackListener l;
+  l.on_destroy = [&](const FlowRecord& r) { last = r; };
+  table.subscribe(std::move(l));
+
+  auto k = make_key(2, 1001);
+  table.open(k, 100, Scope::external);
+  EXPECT_TRUE(table.account(k, 101, 500, 10000));
+  EXPECT_TRUE(table.account(k, 102, 300, 7000));
+  table.close(k, 200);
+  EXPECT_EQ(last.bytes_out, 800u);
+  EXPECT_EQ(last.bytes_in, 17000u);
+  EXPECT_EQ(last.total_bytes(), 17800u);
+  EXPECT_EQ(last.start, 100);
+  EXPECT_EQ(last.end, 200);
+  EXPECT_GT(last.packets_in, 0u);
+}
+
+TEST(Conntrack, MidstreamPickupOpensImplicitly) {
+  ConntrackTable table;
+  auto k = make_key(3, 1002);
+  EXPECT_FALSE(table.account(k, 50, 10, 10));  // false: implicitly opened
+  EXPECT_EQ(table.live_count(), 1u);
+}
+
+TEST(Conntrack, CloseUnknownFlowFails) {
+  ConntrackTable table;
+  EXPECT_FALSE(table.close(make_key(4, 1003), 10));
+}
+
+TEST(Conntrack, SweepEvictsIdleFlows) {
+  ConntrackTable table(/*idle_timeout=*/60);
+  int destroys = 0;
+  ConntrackListener l;
+  l.on_destroy = [&](const FlowRecord&) { ++destroys; };
+  table.subscribe(std::move(l));
+
+  table.open(make_key(5, 1004), 0, Scope::external);
+  table.open(make_key(6, 1005), 50, Scope::external);
+  EXPECT_EQ(table.sweep(59), 0u);   // nothing idle >= 60s yet
+  EXPECT_EQ(table.sweep(60), 1u);   // first flow idle exactly 60s
+  EXPECT_EQ(destroys, 1);
+  EXPECT_EQ(table.live_count(), 1u);
+}
+
+TEST(Conntrack, FlushClosesEverything) {
+  ConntrackTable table;
+  int destroys = 0;
+  ConntrackListener l;
+  l.on_destroy = [&](const FlowRecord&) { ++destroys; };
+  table.subscribe(std::move(l));
+  table.open(make_key(7, 1), 0, Scope::external);
+  table.open(make_key(8, 2), 0, Scope::internal);
+  table.flush(100);
+  EXPECT_EQ(destroys, 2);
+  EXPECT_EQ(table.live_count(), 0u);
+}
+
+// ------------------------------------------------------------ monitor
+
+TEST(Monitor, SplitsByFamilyAndScope) {
+  ConntrackTable table;
+  FlowMonitor mon(table);
+
+  auto k4 = make_key(1, 10, false);
+  table.open(k4, 10, Scope::external);
+  table.account(k4, 10, 100, 900);
+  table.close(k4, 20);
+
+  auto k6 = make_key(2, 11, true);
+  table.open(k6, 30, Scope::external);
+  table.account(k6, 30, 500, 2500);
+  table.close(k6, 40);
+
+  auto ki = make_key(3, 12, false);
+  table.open(ki, 50, Scope::internal);
+  table.account(ki, 50, 50, 50);
+  table.close(ki, 60);
+
+  const auto& ext = mon.totals(Scope::external);
+  EXPECT_EQ(ext.v4.bytes, 1000u);
+  EXPECT_EQ(ext.v6.bytes, 3000u);
+  EXPECT_EQ(ext.v4.flows, 1u);
+  EXPECT_EQ(ext.v6.flows, 1u);
+  EXPECT_NEAR(ext.v6_byte_fraction(), 0.75, 1e-12);
+  EXPECT_NEAR(ext.v6_flow_fraction(), 0.5, 1e-12);
+
+  const auto& in = mon.totals(Scope::internal);
+  EXPECT_EQ(in.v4.bytes, 100u);
+  EXPECT_EQ(in.total_flows(), 1u);
+}
+
+TEST(Monitor, EmptyFractionIsSentinel) {
+  ConntrackTable table;
+  FlowMonitor mon(table);
+  EXPECT_LT(mon.totals(Scope::external).v6_byte_fraction(), 0.0);
+}
+
+TEST(Monitor, DailyBucketsByStartTime) {
+  ConntrackTable table;
+  FlowMonitor mon(table);
+
+  auto day0 = make_key(1, 20, true);
+  table.open(day0, 1000, Scope::external);
+  table.account(day0, 1000, 0, 100);
+  table.close(day0, 1001);
+
+  auto day2 = make_key(2, 21, false);
+  table.open(day2, 2 * kSecondsPerDay + 5, Scope::external);
+  table.account(day2, 2 * kSecondsPerDay + 5, 0, 300);
+  table.close(day2, 2 * kSecondsPerDay + 10);
+
+  const auto& daily = mon.daily(Scope::external);
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_NEAR(daily.at(0).v6_byte_fraction(), 1.0, 1e-12);
+  EXPECT_NEAR(daily.at(2).v6_byte_fraction(), 0.0, 1e-12);
+
+  auto fracs = mon.daily_v6_fractions(Scope::external, true);
+  ASSERT_EQ(fracs.size(), 2u);
+  EXPECT_DOUBLE_EQ(fracs[0], 1.0);
+  EXPECT_DOUBLE_EQ(fracs[1], 0.0);
+}
+
+TEST(Monitor, HourlySeriesFillsGaps) {
+  ConntrackTable table;
+  FlowMonitor mon(table);
+
+  auto h0 = make_key(1, 30, true);
+  table.open(h0, 0, Scope::external);
+  table.account(h0, 0, 0, 100);
+  table.close(h0, 1);
+
+  auto h3 = make_key(2, 31, false);
+  table.open(h3, 3 * kSecondsPerHour, Scope::external);
+  table.account(h3, 3 * kSecondsPerHour, 0, 100);
+  table.close(h3, 3 * kSecondsPerHour + 1);
+
+  auto series = mon.hourly_v6_fraction_series(true);
+  ASSERT_EQ(series.size(), 4u);  // hours 0..3
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);  // gap carries previous value
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+  EXPECT_DOUBLE_EQ(series[3], 0.0);
+}
+
+TEST(Monitor, DestinationTalliesExternalOnly) {
+  ConntrackTable table;
+  FlowMonitor mon(table);
+
+  auto ext = make_key(1, 40, false);
+  table.open(ext, 0, Scope::external);
+  table.account(ext, 0, 10, 90);
+  table.close(ext, 1);
+
+  auto internal = make_key(2, 41, false);
+  table.open(internal, 0, Scope::internal);
+  table.account(internal, 0, 10, 10);
+  table.close(internal, 1);
+
+  auto tallies = mon.destination_tallies();
+  ASSERT_EQ(tallies.size(), 1u);
+  EXPECT_EQ(tallies[0].addr, ext.dst);
+  EXPECT_EQ(tallies[0].tally.bytes, 100u);
+}
+
+TEST(Monitor, RetainsRecordsWhenAsked) {
+  ConntrackTable table;
+  FlowMonitor keep(table, /*retain_records=*/true);
+  auto k = make_key(1, 50);
+  table.open(k, 0, Scope::external);
+  table.close(k, 1);
+  EXPECT_EQ(keep.records().size(), 1u);
+  EXPECT_EQ(keep.new_events(), 1u);
+  EXPECT_EQ(keep.destroy_events(), 1u);
+}
+
+TEST(FlowRecordHelpers, DayAndHour) {
+  FlowRecord r;
+  r.start = 2 * kSecondsPerDay + 5 * kSecondsPerHour + 123;
+  EXPECT_EQ(r.day(), 2);
+  EXPECT_EQ(r.hour_of_day(), 5);
+}
+
+TEST(FlowKeyHashing, DistinctKeysUsuallyDiffer) {
+  net::FlowKeyHash h;
+  auto a = make_key(1, 1000);
+  auto b = make_key(1, 1001);
+  auto c = make_key(2, 1000, true);
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_EQ(h(a), h(make_key(1, 1000)));
+}
+
+}  // namespace
+}  // namespace nbv6::flowmon

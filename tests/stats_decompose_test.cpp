@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/loess.h"
+#include "stats/rng.h"
+#include "stats/stl.h"
+
+namespace nbv6::stats {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ------------------------------------------------------------ LOESS
+
+TEST(Loess, ReproducesConstant) {
+  std::vector<double> ys(50, 7.5);
+  LoessConfig cfg;
+  auto out = loess(ys, cfg);
+  for (double v : out) EXPECT_NEAR(v, 7.5, 1e-9);
+}
+
+TEST(Loess, Degree1ReproducesLine) {
+  // Local linear regression fits straight lines exactly, interior and edge.
+  std::vector<double> ys(60);
+  for (size_t i = 0; i < ys.size(); ++i) ys[i] = 2.0 * static_cast<double>(i) - 5.0;
+  LoessConfig cfg;
+  cfg.degree = 1;
+  cfg.span_fraction = 0.4;
+  auto out = loess(ys, cfg);
+  for (size_t i = 0; i < ys.size(); ++i) EXPECT_NEAR(out[i], ys[i], 1e-8) << i;
+}
+
+TEST(Loess, Degree0SmoothsToLocalMean) {
+  std::vector<double> ys{0, 0, 0, 10, 0, 0, 0};
+  LoessConfig cfg;
+  cfg.degree = 0;
+  // Span 5: the spike's direct neighbours carry nonzero tricube weight
+  // (the window edge itself always weighs zero).
+  cfg.span_points = 5;
+  auto out = loess(ys, cfg);
+  // The spike spreads into neighbours but the far edges stay near zero.
+  EXPECT_LT(out[0], 1.0);
+  EXPECT_GT(out[3], 2.0);
+  EXPECT_LT(out[3], 10.0);
+}
+
+TEST(Loess, SmoothsNoiseTowardTrend) {
+  Rng rng(11);
+  std::vector<double> ys(200);
+  for (size_t i = 0; i < ys.size(); ++i)
+    ys[i] = 0.05 * static_cast<double>(i) + rng.normal(0, 0.5);
+  LoessConfig cfg;
+  cfg.span_fraction = 0.3;
+  auto out = loess(ys, cfg);
+  // Residuals of the smooth against the true trend shrink vs raw noise.
+  double raw = 0, smooth = 0;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    double truth = 0.05 * static_cast<double>(i);
+    raw += std::abs(ys[i] - truth);
+    smooth += std::abs(out[i] - truth);
+  }
+  EXPECT_LT(smooth, raw * 0.5);
+}
+
+TEST(Loess, RobustnessDownweightsOutlier) {
+  std::vector<double> ys(21, 1.0);
+  ys[10] = 100.0;
+  std::vector<double> rob(21, 1.0);
+  rob[10] = 0.0;  // fully suppress the outlier
+  LoessConfig cfg;
+  cfg.span_points = 7;
+  auto with = loess(ys, cfg, rob);
+  EXPECT_NEAR(with[10], 1.0, 1e-6);
+}
+
+TEST(Loess, EmptyAndSingle) {
+  LoessConfig cfg;
+  EXPECT_TRUE(loess(std::vector<double>{}, cfg).empty());
+  auto one = loess(std::vector<double>{42.0}, cfg);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 42.0);
+}
+
+// ------------------------------------------------------------ STL
+
+std::vector<double> synth_series(size_t n, double trend_slope,
+                                 double daily_amp, double noise_sd,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    ys[i] = 0.5 + trend_slope * t +
+            daily_amp * std::sin(2 * kPi * t / 24.0) +
+            rng.normal(0, noise_sd);
+  }
+  return ys;
+}
+
+TEST(Stl, ReconstructionIdentity) {
+  auto ys = synth_series(24 * 14, 0.0005, 0.2, 0.05, 12);
+  StlConfig cfg;
+  cfg.period = 24;
+  auto r = stl_decompose(ys, cfg);
+  ASSERT_EQ(r.trend.size(), ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_NEAR(r.trend[i] + r.seasonal[i] + r.remainder[i], ys[i], 1e-9);
+  }
+}
+
+TEST(Stl, RecoversSeasonalAmplitude) {
+  auto ys = synth_series(24 * 21, 0.0, 0.3, 0.02, 13);
+  StlConfig cfg;
+  cfg.period = 24;
+  auto r = stl_decompose(ys, cfg);
+  // Seasonal component should swing roughly ±0.3 mid-series.
+  double lo = 0, hi = 0;
+  for (size_t i = ys.size() / 4; i < 3 * ys.size() / 4; ++i) {
+    lo = std::min(lo, r.seasonal[i]);
+    hi = std::max(hi, r.seasonal[i]);
+  }
+  EXPECT_NEAR(hi, 0.3, 0.1);
+  EXPECT_NEAR(lo, -0.3, 0.1);
+}
+
+TEST(Stl, TrendFollowsSlope) {
+  auto ys = synth_series(24 * 21, 0.001, 0.2, 0.02, 14);
+  StlConfig cfg;
+  cfg.period = 24;
+  auto r = stl_decompose(ys, cfg);
+  // Compare trend rise over the middle half against the truth.
+  size_t a = ys.size() / 4, b = 3 * ys.size() / 4;
+  double rise = r.trend[b] - r.trend[a];
+  double truth = 0.001 * static_cast<double>(b - a);
+  EXPECT_NEAR(rise, truth, truth * 0.5);
+}
+
+TEST(Stl, SeasonalAveragesToZero) {
+  auto ys = synth_series(24 * 21, 0.0, 0.25, 0.05, 15);
+  StlConfig cfg;
+  cfg.period = 24;
+  auto r = stl_decompose(ys, cfg);
+  EXPECT_NEAR(mean(r.seasonal), 0.0, 0.03);
+}
+
+TEST(Stl, RobustIterationsToleratesSpikes) {
+  auto ys = synth_series(24 * 14, 0.0, 0.2, 0.02, 16);
+  ys[100] += 5.0;  // gross outlier
+  StlConfig cfg;
+  cfg.period = 24;
+  cfg.outer_iterations = 2;
+  auto r = stl_decompose(ys, cfg);
+  // The outlier should land in the remainder, not the trend.
+  EXPECT_GT(std::abs(r.remainder[100]), 3.0);
+  EXPECT_LT(std::abs(r.trend[100] - r.trend[99]), 0.5);
+}
+
+// ------------------------------------------------------------ MSTL
+
+TEST(Mstl, ReconstructionIdentity) {
+  Rng rng(17);
+  const size_t n = 24 * 7 * 6;
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    ys[i] = 0.5 + 0.2 * std::sin(2 * kPi * t / 24.0) +
+            0.1 * std::sin(2 * kPi * t / 168.0) + rng.normal(0, 0.03);
+  }
+  MstlConfig cfg;
+  cfg.periods = {24, 168};
+  auto r = mstl_decompose(ys, cfg);
+  ASSERT_EQ(r.seasonals.size(), 2u);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = r.trend[i] + r.seasonals[0][i] + r.seasonals[1][i] +
+                 r.remainder[i];
+    EXPECT_NEAR(sum, ys[i], 1e-9);
+  }
+}
+
+TEST(Mstl, SeparatesTwoPeriods) {
+  Rng rng(18);
+  const size_t n = 24 * 7 * 8;
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    ys[i] = 0.3 * std::sin(2 * kPi * t / 24.0) +
+            0.15 * std::sin(2 * kPi * t / 168.0) + rng.normal(0, 0.02);
+  }
+  MstlConfig cfg;
+  cfg.periods = {24, 168};
+  auto r = mstl_decompose(ys, cfg);
+  // Daily amplitude ~0.3, weekly ~0.15 (mid-series peaks).
+  auto amp = [&](const std::vector<double>& s) {
+    double hi = 0;
+    for (size_t i = n / 4; i < 3 * n / 4; ++i) hi = std::max(hi, std::abs(s[i]));
+    return hi;
+  };
+  EXPECT_NEAR(amp(r.seasonals[0]), 0.3, 0.12);
+  EXPECT_NEAR(amp(r.seasonals[1]), 0.15, 0.12);
+  EXPECT_GT(amp(r.seasonals[0]), amp(r.seasonals[1]));
+}
+
+TEST(Mstl, DropsUnsupportablePeriods) {
+  std::vector<double> ys(60, 1.0);
+  MstlConfig cfg;
+  cfg.periods = {24, 168};  // 168 needs >= 336 points; 24 needs 48 and fits
+  auto r = mstl_decompose(ys, cfg);
+  EXPECT_EQ(r.seasonals.size(), 1u);
+}
+
+TEST(Mstl, NoPeriodsFallsBackToTrendOnly) {
+  std::vector<double> ys(10, 2.0);
+  MstlConfig cfg;
+  cfg.periods = {24};
+  auto r = mstl_decompose(ys, cfg);
+  EXPECT_TRUE(r.seasonals.empty());
+  for (size_t i = 0; i < ys.size(); ++i)
+    EXPECT_NEAR(r.trend[i] + r.remainder[i], ys[i], 1e-9);
+}
+
+TEST(Mstl, ConstantSeriesHasZeroSeasonals) {
+  std::vector<double> ys(24 * 10, 3.3);
+  MstlConfig cfg;
+  cfg.periods = {24};
+  auto r = mstl_decompose(ys, cfg);
+  for (double v : r.seasonals[0]) EXPECT_NEAR(v, 0.0, 1e-6);
+  for (double v : r.remainder) EXPECT_NEAR(v, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nbv6::stats

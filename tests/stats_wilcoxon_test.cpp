@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/wilcoxon.h"
+
+namespace nbv6::stats {
+namespace {
+
+TEST(Midranks, SimpleDistinct) {
+  std::vector<double> v{3.0, -1.0, 2.0};
+  auto r = midranks(v);  // |v| = 3,1,2 -> ranks 3,1,2
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Midranks, TiesShareAverage) {
+  std::vector<double> v{1.0, -1.0, 2.0, 2.0};
+  auto r = midranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 3.5);
+  EXPECT_DOUBLE_EQ(r[3], 3.5);
+}
+
+TEST(Wilcoxon, AllPositiveExactP) {
+  // diffs 1..5: W+ = 15 (max); exact two-sided p = 2/2^5 = 0.0625 (scipy
+  // agrees).
+  std::vector<double> d{1, 2, 3, 4, 5};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->n, 5u);
+  EXPECT_DOUBLE_EQ(r->w_plus, 15.0);
+  EXPECT_NEAR(r->p_value, 0.0625, 1e-12);
+  EXPECT_GT(r->effect_size_r, 0.8);
+}
+
+TEST(Wilcoxon, OneNegativeExactP) {
+  // |-1| has rank 1; W+ = 14; p = 2 * P(W <= 1) = 4/32 = 0.125.
+  std::vector<double> d{-1, 2, 3, 4, 5};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->w_plus, 14.0);
+  EXPECT_NEAR(r->p_value, 0.125, 1e-12);
+}
+
+TEST(Wilcoxon, SymmetryOfSign) {
+  std::vector<double> d{1, 2, 3, 4, 5};
+  std::vector<double> neg{-1, -2, -3, -4, -5};
+  auto rp = wilcoxon_signed_rank(d);
+  auto rn = wilcoxon_signed_rank(neg);
+  ASSERT_TRUE(rp && rn);
+  EXPECT_NEAR(rp->p_value, rn->p_value, 1e-12);
+  EXPECT_NEAR(rp->effect_size_r, -rn->effect_size_r, 1e-12);
+}
+
+TEST(Wilcoxon, ZerosDiscarded) {
+  std::vector<double> d{0, 0, 1, 2, 3, 4, 5, 0};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->n, 5u);
+  EXPECT_DOUBLE_EQ(r->w_plus, 15.0);
+}
+
+TEST(Wilcoxon, AllZerosUntestable) {
+  std::vector<double> d{0, 0, 0};
+  EXPECT_FALSE(wilcoxon_signed_rank(d).has_value());
+}
+
+TEST(Wilcoxon, BalancedDiffsNearNull) {
+  std::vector<double> d{1, -1.5, 2, -2.5, 3, -3.5, 4, -4.5};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->p_value, 0.3);
+  EXPECT_NEAR(r->effect_size_r, 0.0, 0.35);
+}
+
+TEST(Wilcoxon, PairedOverload) {
+  std::vector<double> xs{5, 6, 7, 8, 9};
+  std::vector<double> ys{1, 2, 3, 4, 5};
+  auto r = wilcoxon_signed_rank(xs, ys);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->effect_size_r, 0.0);
+  // All diffs are +4 (fully tied), so the tie-corrected normal
+  // approximation applies: z = (15 - 7.5 - 0.5) / sqrt(11.25) ~ 2.087.
+  EXPECT_NEAR(r->z, 2.087, 0.01);
+  EXPECT_LT(r->p_value, 0.05);
+}
+
+TEST(Wilcoxon, LargeSampleNormalApprox) {
+  // 40 positive diffs of distinct magnitudes: overwhelming evidence.
+  std::vector<double> d;
+  for (int i = 1; i <= 40; ++i) d.push_back(i);
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LT(r->p_value, 1e-6);
+  EXPECT_GT(r->z, 4.0);
+  EXPECT_NEAR(r->effect_size_r, r->z / std::sqrt(40.0), 1e-12);
+}
+
+TEST(Wilcoxon, TiesUseNormalApprox) {
+  // Ties in |d| force the tie-corrected path even for small n.
+  std::vector<double> d{1, 1, 1, 1, 1, 1, -1, -1};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->p_value, 0.05);
+  EXPECT_LE(r->p_value, 1.0);
+}
+
+TEST(Wilcoxon, EffectSizeClamped) {
+  std::vector<double> d{1, 2, 3};
+  auto r = wilcoxon_signed_rank(d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GE(r->effect_size_r, -1.0);
+  EXPECT_LE(r->effect_size_r, 1.0);
+}
+
+// Exact-vs-approximate consistency: for moderate n the two p-values should
+// agree to within a few percent.
+TEST(Wilcoxon, ExactMatchesApproximationAtBoundary) {
+  std::vector<double> d;
+  for (int i = 1; i <= 25; ++i) d.push_back(i % 3 == 0 ? -i : i);
+  auto exact = wilcoxon_signed_rank(d);  // n = 25, no ties -> exact
+  ASSERT_TRUE(exact.has_value());
+  // Recompute z-based two-sided p.
+  double approx_p = 2.0 * (1.0 - normal_cdf(std::abs(exact->z)));
+  EXPECT_NEAR(exact->p_value, approx_p, 0.05);
+}
+
+// ------------------------------------------------------------ Holm
+
+TEST(Holm, SingleHypothesis) {
+  std::vector<double> p{0.03};
+  auto r = holm_bonferroni(p, 0.05);
+  EXPECT_TRUE(r.reject[0]);
+  EXPECT_DOUBLE_EQ(r.adjusted_p[0], 0.03);
+}
+
+TEST(Holm, StepDownExample) {
+  std::vector<double> p{0.01, 0.04, 0.03, 0.005};
+  auto r = holm_bonferroni(p, 0.05);
+  EXPECT_TRUE(r.reject[3]);   // 0.005 * 4 = 0.02
+  EXPECT_TRUE(r.reject[0]);   // 0.01 * 3 = 0.03
+  EXPECT_FALSE(r.reject[2]);  // 0.03 * 2 = 0.06 > 0.05 -> stop
+  EXPECT_FALSE(r.reject[1]);  // stopped
+  EXPECT_NEAR(r.adjusted_p[3], 0.02, 1e-12);
+  EXPECT_NEAR(r.adjusted_p[0], 0.03, 1e-12);
+  EXPECT_NEAR(r.adjusted_p[2], 0.06, 1e-12);
+  // Monotonicity: later adjusted p never dips below an earlier one.
+  EXPECT_GE(r.adjusted_p[1], r.adjusted_p[2]);
+}
+
+TEST(Holm, NothingSignificant) {
+  std::vector<double> p{0.5, 0.9, 0.7};
+  auto r = holm_bonferroni(p, 0.05);
+  for (bool b : r.reject) EXPECT_FALSE(b);
+}
+
+TEST(Holm, EverythingTiny) {
+  std::vector<double> p{1e-8, 1e-9, 1e-7};
+  auto r = holm_bonferroni(p, 0.05);
+  for (bool b : r.reject) EXPECT_TRUE(b);
+}
+
+TEST(Holm, AdjustedPCappedAtOne) {
+  std::vector<double> p{0.9, 0.95};
+  auto r = holm_bonferroni(p, 0.05);
+  for (double q : r.adjusted_p) EXPECT_LE(q, 1.0);
+}
+
+TEST(Holm, EmptyInput) {
+  auto r = holm_bonferroni({}, 0.05);
+  EXPECT_TRUE(r.reject.empty());
+  EXPECT_TRUE(r.adjusted_p.empty());
+}
+
+TEST(Holm, MoreConservativeThanUnadjusted) {
+  std::vector<double> p{0.02, 0.04, 0.045};
+  auto r = holm_bonferroni(p, 0.05);
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_GE(r.adjusted_p[i], p[i]);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nbv6::stats

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "web/psl.h"
+
+namespace nbv6::web {
+namespace {
+
+TEST(SplitLabels, Basic) {
+  auto l = split_labels("a.b.c");
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_EQ(l[0], "a");
+  EXPECT_EQ(l[2], "c");
+  EXPECT_EQ(split_labels("single").size(), 1u);
+}
+
+TEST(Psl, SimpleTld) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("example.com"), "com");
+  EXPECT_EQ(psl.public_suffix("www.example.com"), "com");
+}
+
+TEST(Psl, TwoLevelSuffix) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("example.co.uk"), "co.uk");
+  EXPECT_EQ(psl.public_suffix("deep.sub.example.co.uk"), "co.uk");
+}
+
+TEST(Psl, RegistrableDomain) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.registrable_domain("www.example.com").value(), "example.com");
+  EXPECT_EQ(psl.registrable_domain("a.b.example.co.uk").value(),
+            "example.co.uk");
+  EXPECT_EQ(psl.registrable_domain("example.com").value(), "example.com");
+}
+
+TEST(Psl, SuffixItselfHasNoRegistrableDomain) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_FALSE(psl.registrable_domain("com").has_value());
+  EXPECT_FALSE(psl.registrable_domain("co.uk").has_value());
+}
+
+TEST(Psl, WildcardRule) {
+  auto psl = PublicSuffixList::builtin();
+  // *.ck: any single label under ck is itself a public suffix.
+  EXPECT_EQ(psl.public_suffix("foo.ck"), "foo.ck");
+  EXPECT_FALSE(psl.registrable_domain("foo.ck").has_value());
+  EXPECT_EQ(psl.registrable_domain("site.foo.ck").value(), "site.foo.ck");
+}
+
+TEST(Psl, ExceptionRule) {
+  auto psl = PublicSuffixList::builtin();
+  // !www.ck: www.ck is NOT a public suffix despite *.ck.
+  EXPECT_EQ(psl.public_suffix("www.ck"), "ck");
+  EXPECT_EQ(psl.registrable_domain("www.ck").value(), "www.ck");
+  EXPECT_EQ(psl.registrable_domain("a.www.ck").value(), "www.ck");
+}
+
+TEST(Psl, PrivateRegistrySuffixes) {
+  auto psl = PublicSuffixList::builtin();
+  // github.io style: each user site is its own registrable domain.
+  EXPECT_EQ(psl.registrable_domain("alice.github.io").value(),
+            "alice.github.io");
+  EXPECT_EQ(psl.registrable_domain("x.alice.github.io").value(),
+            "alice.github.io");
+  EXPECT_EQ(psl.registrable_domain("tenant.cloudfront.net").value(),
+            "tenant.cloudfront.net");
+}
+
+TEST(Psl, UnlistedTldUsesImplicitStar) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("example.zz"), "zz");
+  EXPECT_EQ(psl.registrable_domain("www.example.zz").value(), "example.zz");
+}
+
+TEST(Psl, SameSite) {
+  auto psl = PublicSuffixList::builtin();
+  EXPECT_TRUE(psl.same_site("www.example.com", "static.example.com"));
+  EXPECT_TRUE(psl.same_site("example.com", "example.com"));
+  EXPECT_FALSE(psl.same_site("example.com", "example.org"));
+  EXPECT_FALSE(psl.same_site("a.example.co.uk", "a.other.co.uk"));
+  // A public suffix has no site identity at all.
+  EXPECT_FALSE(psl.same_site("com", "example.com"));
+}
+
+TEST(Psl, EmptyListUsesImplicitStarOnly) {
+  PublicSuffixList psl;
+  EXPECT_EQ(psl.public_suffix("a.b.c"), "c");
+  EXPECT_EQ(psl.registrable_domain("a.b.c").value(), "b.c");
+}
+
+TEST(Psl, AddCustomRule) {
+  PublicSuffixList psl;
+  psl.add_rule("custom.suffix");
+  EXPECT_EQ(psl.public_suffix("x.custom.suffix"), "custom.suffix");
+  EXPECT_EQ(psl.registrable_domain("a.x.custom.suffix").value(),
+            "x.custom.suffix");
+}
+
+class PslSweep
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(PslSweep, RegistrableDomainMatches) {
+  auto psl = PublicSuffixList::builtin();
+  auto [host, expected] = GetParam();
+  auto got = psl.registrable_domain(host);
+  ASSERT_TRUE(got.has_value()) << host;
+  EXPECT_EQ(*got, expected) << host;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PslSweep,
+    ::testing::Values(
+        std::pair{"www.google.com", "google.com"},
+        std::pair{"s3.eu.amazonaws.com", "eu.amazonaws.com"},
+        std::pair{"a.b.c.d.example.org", "example.org"},
+        std::pair{"shop.example.com.au", "example.com.au"},
+        std::pair{"media.example.de", "example.de"},
+        std::pair{"x.y.site42.io", "site42.io"},
+        std::pair{"cdn.assets.example.net", "example.net"},
+        std::pair{"app.example.co.jp", "example.co.jp"}));
+
+}  // namespace
+}  // namespace nbv6::web
