@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Refresh the committed microbenchmark baseline.
+#
+# Usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]
+#
+# Runs the google-benchmark harness in JSON mode and writes the result to
+# <repo-root>/<out-name> (default BENCH_pr1.json). The file is committed at
+# the repo root as one point of the performance trajectory; future perf PRs
+# add BENCH_prN.json next to it and regress against the previous points.
+# Normally invoked through the build: `cmake --build build -t bench_baseline`.
+set -euo pipefail
+
+BIN=${1:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]}
+ROOT=${2:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]}
+OUT=${3:-BENCH_pr1.json}
+
+exec "$BIN" \
+  --benchmark_out="$ROOT/$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_format=console

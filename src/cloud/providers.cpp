@@ -266,6 +266,18 @@ std::optional<size_t> ProviderCatalog::provider_of(const net::IpAddr& a) const {
   return it->second;
 }
 
+void ProviderCatalog::providers_of(std::span<const net::IpAddr> addrs,
+                                   std::span<std::optional<size_t>> out) const {
+  std::vector<std::optional<net::Asn>> asns(addrs.size());
+  as_map_.lookup_batch(addrs, asns);
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    out[i] = std::nullopt;
+    if (!asns[i]) continue;
+    auto it = provider_by_asn_.find(*asns[i]);
+    if (it != provider_by_asn_.end()) out[i] = it->second;
+  }
+}
+
 std::optional<size_t> ProviderCatalog::a_record_host(size_t provider) const {
   const auto& quirk = providers_[provider].a_records_hosted_by;
   if (quirk.empty()) return std::nullopt;

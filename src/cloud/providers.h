@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -88,6 +89,12 @@ class ProviderCatalog {
 
   /// Provider index owning an address (via BGP + org join).
   [[nodiscard]] std::optional<size_t> provider_of(const net::IpAddr& a) const;
+
+  /// Batch attribution through the LPM trie's batch path: `out[i]` is the
+  /// provider index owning `addrs[i]`. The shape the analysis loops have —
+  /// resolve every record's addresses in one pass, then aggregate.
+  void providers_of(std::span<const net::IpAddr> addrs,
+                    std::span<std::optional<size_t>> out) const;
 
   /// Index of the provider whose AS hosts A records for `provider`'s
   /// tenants (the Bunnyway→Datacamp quirk); nullopt when no quirk.

@@ -49,6 +49,27 @@ FlowRecord anonymize(const FlowRecord& record, const net::CryptoPan& cpan) {
   return out;
 }
 
+std::vector<FlowRecord> anonymize_batch(std::span<const FlowRecord> records,
+                                        const net::CryptoPan& cpan) {
+  // Gather endpoints into one address batch (src, dst interleaved), run
+  // them through the cache-amortized batch anonymizer, scatter back.
+  std::vector<net::IpAddr> addrs;
+  addrs.reserve(2 * records.size());
+  for (const auto& r : records) {
+    addrs.push_back(r.key.src);
+    addrs.push_back(r.key.dst);
+  }
+  std::vector<net::IpAddr> anon(addrs.size());
+  cpan.anonymize_paper_policy_batch(addrs, anon);
+
+  std::vector<FlowRecord> out(records.begin(), records.end());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].key.src = anon[2 * i];
+    out[i].key.dst = anon[2 * i + 1];
+  }
+  return out;
+}
+
 std::string serialize(const FlowRecord& r) {
   std::ostringstream out;
   out << net::to_string(r.key.protocol) << '\t' << r.key.src.to_string()
@@ -112,8 +133,7 @@ DailyExport Exporter::flush_day(int day) {
   batch.day = day;
   auto it = queue_.find(day);
   if (it == queue_.end()) return batch;
-  batch.records.reserve(it->second.size());
-  for (const auto& r : it->second) batch.records.push_back(anonymize(r, cpan_));
+  batch.records = anonymize_batch(it->second, cpan_);
   queue_.erase(it);
   return batch;
 }

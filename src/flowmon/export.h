@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,12 @@ namespace nbv6::flowmon {
 /// Anonymize one record's endpoints in place (paper policy). Ports,
 /// counters, and timestamps are unchanged — they carry no identity.
 FlowRecord anonymize(const FlowRecord& record, const net::CryptoPan& cpan);
+
+/// Anonymize a whole batch through CryptoPan's batch entry point: endpoint
+/// addresses across the batch share prefixes (one residence, few remote
+/// /24s), so the PRF cache amortizes the AES work across records.
+std::vector<FlowRecord> anonymize_batch(std::span<const FlowRecord> records,
+                                        const net::CryptoPan& cpan);
 
 /// Serialize one record to a single line (no trailing newline):
 /// proto \t src \t sport \t dst \t dport \t start \t end \t

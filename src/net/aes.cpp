@@ -2,6 +2,11 @@
 
 #include <cstddef>
 
+#if defined(__AES__) && defined(__SSSE3__)
+#include <tmmintrin.h>
+#include <wmmintrin.h>
+#endif
+
 using std::size_t;
 
 namespace nbv6::net {
@@ -41,73 +46,185 @@ constexpr std::uint8_t xtime(std::uint8_t a) {
   return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
 }
 
+constexpr std::uint32_t rotr8(std::uint32_t v) { return (v >> 8) | (v << 24); }
+
+// T-tables: Te0[x] packs MixColumns applied to SubBytes(x) for the first
+// state row, MSB-first — {02·S[x], S[x], S[x], 03·S[x]}. Te1..Te3 are the
+// same column rotated down one row each, so a round's output word is
+//   Te0[b0] ^ Te1[b1] ^ Te2[b2] ^ Te3[b3] ^ rk
+// with b0..b3 drawn along the ShiftRows diagonal.
+struct Tables {
+  std::uint32_t te0[256], te1[256], te2[256], te3[256];
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t s = kSbox[i];
+    std::uint8_t s2 = xtime(s);
+    std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    std::uint32_t w = (std::uint32_t{s2} << 24) | (std::uint32_t{s} << 16) |
+                      (std::uint32_t{s} << 8) | std::uint32_t{s3};
+    t.te0[i] = w;
+    t.te1[i] = rotr8(w);
+    t.te2[i] = rotr8(rotr8(w));
+    t.te3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+constexpr Tables kT = make_tables();
+
 }  // namespace
 
 Aes128::Aes128(const Key& key) {
-  // Key expansion (FIPS 197 §5.2), flattened into 11 round keys.
-  std::array<std::uint8_t, 176> w{};
-  for (int i = 0; i < 16; ++i) w[static_cast<size_t>(i)] = key[static_cast<size_t>(i)];
+  // Key expansion (FIPS 197 §5.2) directly over big-endian packed words.
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[static_cast<size_t>(i)] =
+        (std::uint32_t{key[static_cast<size_t>(4 * i)]} << 24) |
+        (std::uint32_t{key[static_cast<size_t>(4 * i + 1)]} << 16) |
+        (std::uint32_t{key[static_cast<size_t>(4 * i + 2)]} << 8) |
+        std::uint32_t{key[static_cast<size_t>(4 * i + 3)]};
+  }
   for (int i = 4; i < 44; ++i) {
-    std::uint8_t t[4] = {w[static_cast<size_t>(4 * i - 4)], w[static_cast<size_t>(4 * i - 3)],
-                         w[static_cast<size_t>(4 * i - 2)], w[static_cast<size_t>(4 * i - 1)]};
+    std::uint32_t t = round_keys_[static_cast<size_t>(i - 1)];
     if (i % 4 == 0) {
       // RotWord + SubWord + Rcon.
-      std::uint8_t tmp = t[0];
-      t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ kRcon[i / 4]);
-      t[1] = kSbox[t[2]];
-      t[2] = kSbox[t[3]];
-      t[3] = kSbox[tmp];
+      t = (t << 8) | (t >> 24);
+      t = (std::uint32_t{kSbox[(t >> 24) & 0xff]} << 24) |
+          (std::uint32_t{kSbox[(t >> 16) & 0xff]} << 16) |
+          (std::uint32_t{kSbox[(t >> 8) & 0xff]} << 8) |
+          std::uint32_t{kSbox[t & 0xff]};
+      t ^= std::uint32_t{kRcon[i / 4]} << 24;
     }
-    for (int j = 0; j < 4; ++j)
-      w[static_cast<size_t>(4 * i + j)] =
-          static_cast<std::uint8_t>(w[static_cast<size_t>(4 * (i - 4) + j)] ^ t[j]);
+    round_keys_[static_cast<size_t>(i)] =
+        round_keys_[static_cast<size_t>(i - 4)] ^ t;
   }
-  for (int r = 0; r < 11; ++r)
-    for (int j = 0; j < 16; ++j)
-      round_keys_[static_cast<size_t>(r)][static_cast<size_t>(j)] =
-          w[static_cast<size_t>(16 * r + j)];
+  for (int i = 0; i < 44; ++i)
+    round_keys_raw_[static_cast<size_t>(i)] =
+        __builtin_bswap32(round_keys_[static_cast<size_t>(i)]);
+}
+
+#if defined(__AES__) && defined(__SSSE3__)
+namespace {
+
+// Hardware core: one AESENC per round against the precomputed raw-order
+// schedule. Operates on the FIPS byte-order state AES-NI expects.
+inline __m128i hw_encrypt(__m128i s, const std::uint32_t* rk_raw) {
+  auto load_rk = [rk_raw](int r) {
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(rk_raw + 4 * r));
+  };
+  s = _mm_xor_si128(s, load_rk(0));
+  s = _mm_aesenc_si128(s, load_rk(1));
+  s = _mm_aesenc_si128(s, load_rk(2));
+  s = _mm_aesenc_si128(s, load_rk(3));
+  s = _mm_aesenc_si128(s, load_rk(4));
+  s = _mm_aesenc_si128(s, load_rk(5));
+  s = _mm_aesenc_si128(s, load_rk(6));
+  s = _mm_aesenc_si128(s, load_rk(7));
+  s = _mm_aesenc_si128(s, load_rk(8));
+  s = _mm_aesenc_si128(s, load_rk(9));
+  return _mm_aesenclast_si128(s, load_rk(10));
+}
+
+}  // namespace
+#endif
+
+std::array<std::uint32_t, 4> Aes128::encrypt_words(
+    const std::array<std::uint32_t, 4>& words) const {
+#if defined(__AES__) && defined(__SSSE3__)
+  // The caller-facing words are big-endian packed, so reverse bytes within
+  // each 32-bit lane on the way in and out.
+  const __m128i kLaneSwap =
+      _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+  __m128i s =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(words.data()));
+  s = hw_encrypt(_mm_shuffle_epi8(s, kLaneSwap), round_keys_raw_.data());
+  s = _mm_shuffle_epi8(s, kLaneSwap);
+  std::array<std::uint32_t, 4> out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), s);
+  return out;
+#else
+  const std::uint32_t* rk = round_keys_.data();
+  std::uint32_t s0 = words[0] ^ rk[0];
+  std::uint32_t s1 = words[1] ^ rk[1];
+  std::uint32_t s2 = words[2] ^ rk[2];
+  std::uint32_t s3 = words[3] ^ rk[3];
+
+  // Nine full rounds, fully unrolled so the table indices and key offsets
+  // are compile-time constants (the serial dependency chain per round is
+  // one L1 load plus a three-deep XOR tree).
+  std::uint32_t t0, t1, t2, t3;
+#define NBV6_AES_ROUND(r)                                     \
+  t0 = kT.te0[s0 >> 24] ^ kT.te1[(s1 >> 16) & 0xff] ^         \
+       kT.te2[(s2 >> 8) & 0xff] ^ kT.te3[s3 & 0xff] ^ rk[4 * (r)];     \
+  t1 = kT.te0[s1 >> 24] ^ kT.te1[(s2 >> 16) & 0xff] ^         \
+       kT.te2[(s3 >> 8) & 0xff] ^ kT.te3[s0 & 0xff] ^ rk[4 * (r) + 1]; \
+  t2 = kT.te0[s2 >> 24] ^ kT.te1[(s3 >> 16) & 0xff] ^         \
+       kT.te2[(s0 >> 8) & 0xff] ^ kT.te3[s1 & 0xff] ^ rk[4 * (r) + 2]; \
+  t3 = kT.te0[s3 >> 24] ^ kT.te1[(s0 >> 16) & 0xff] ^         \
+       kT.te2[(s1 >> 8) & 0xff] ^ kT.te3[s2 & 0xff] ^ rk[4 * (r) + 3]; \
+  s0 = t0;                                                    \
+  s1 = t1;                                                    \
+  s2 = t2;                                                    \
+  s3 = t3;
+  NBV6_AES_ROUND(1)
+  NBV6_AES_ROUND(2)
+  NBV6_AES_ROUND(3)
+  NBV6_AES_ROUND(4)
+  NBV6_AES_ROUND(5)
+  NBV6_AES_ROUND(6)
+  NBV6_AES_ROUND(7)
+  NBV6_AES_ROUND(8)
+  NBV6_AES_ROUND(9)
+#undef NBV6_AES_ROUND
+
+  // Final round: SubBytes + ShiftRows only (no MixColumns).
+  auto sub4 = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                 std::uint32_t d) {
+    return (std::uint32_t{kSbox[a >> 24]} << 24) |
+           (std::uint32_t{kSbox[(b >> 16) & 0xff]} << 16) |
+           (std::uint32_t{kSbox[(c >> 8) & 0xff]} << 8) |
+           std::uint32_t{kSbox[d & 0xff]};
+  };
+  return {sub4(s0, s1, s2, s3) ^ rk[40], sub4(s1, s2, s3, s0) ^ rk[41],
+          sub4(s2, s3, s0, s1) ^ rk[42], sub4(s3, s0, s1, s2) ^ rk[43]};
+#endif
 }
 
 Aes128::Block Aes128::encrypt(const Block& plaintext) const {
-  // State is column-major per FIPS 197: state[r][c] = in[r + 4c]. We keep it
-  // flat in input order and index accordingly.
-  Block s = plaintext;
-
-  auto add_round_key = [&s](const std::array<std::uint8_t, 16>& rk) {
-    for (int i = 0; i < 16; ++i) s[static_cast<size_t>(i)] ^= rk[static_cast<size_t>(i)];
-  };
-  auto sub_bytes = [&s] {
-    for (auto& b : s) b = kSbox[b];
-  };
-  auto shift_rows = [&s] {
-    // Row r (elements s[r], s[r+4], s[r+8], s[r+12]) rotates left by r.
-    Block t = s;
-    for (int r = 1; r < 4; ++r)
-      for (int c = 0; c < 4; ++c)
-        s[static_cast<size_t>(r + 4 * c)] = t[static_cast<size_t>(r + 4 * ((c + r) % 4))];
-  };
-  auto mix_columns = [&s] {
-    for (int c = 0; c < 4; ++c) {
-      std::uint8_t* col = &s[static_cast<size_t>(4 * c)];
-      std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-    }
-  };
-
-  add_round_key(round_keys_[0]);
-  for (int round = 1; round <= 9; ++round) {
-    sub_bytes();
-    shift_rows();
-    mix_columns();
-    add_round_key(round_keys_[static_cast<size_t>(round)]);
+#if defined(__AES__) && defined(__SSSE3__)
+  // Block bytes are already in the order AES-NI consumes — no marshalling.
+  __m128i s =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(plaintext.data()));
+  s = hw_encrypt(s, round_keys_raw_.data());
+  Block out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), s);
+  return out;
+#else
+  std::array<std::uint32_t, 4> w;
+  for (int i = 0; i < 4; ++i) {
+    w[static_cast<size_t>(i)] =
+        (std::uint32_t{plaintext[static_cast<size_t>(4 * i)]} << 24) |
+        (std::uint32_t{plaintext[static_cast<size_t>(4 * i + 1)]} << 16) |
+        (std::uint32_t{plaintext[static_cast<size_t>(4 * i + 2)]} << 8) |
+        std::uint32_t{plaintext[static_cast<size_t>(4 * i + 3)]};
   }
-  sub_bytes();
-  shift_rows();
-  add_round_key(round_keys_[10]);
-  return s;
+  w = encrypt_words(w);
+  Block out;
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<size_t>(4 * i)] =
+        static_cast<std::uint8_t>(w[static_cast<size_t>(i)] >> 24);
+    out[static_cast<size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(w[static_cast<size_t>(i)] >> 16);
+    out[static_cast<size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(w[static_cast<size_t>(i)] >> 8);
+    out[static_cast<size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(w[static_cast<size_t>(i)]);
+  }
+  return out;
+#endif
 }
 
 }  // namespace nbv6::net

@@ -5,6 +5,12 @@
 // release pipeline uses (§A). Encryption-only (CryptoPAN never decrypts),
 // single block, no modes; constant-time behaviour is NOT a goal here — this
 // anonymizes research data offline, it is not a TLS stack.
+//
+// Implementation: the classic 32-bit T-table formulation (SubBytes,
+// ShiftRows and MixColumns fused into four 256-entry uint32 tables), which
+// turns each round into 16 table loads and a handful of XORs. One CryptoPAN
+// address costs up to 32 (v4) / 128 (v6) block encryptions, so the per-block
+// constant dominates every anonymization benchmark.
 #pragma once
 
 #include <array>
@@ -23,9 +29,20 @@ class Aes128 {
   /// Encrypt one 16-byte block (ECB, single block).
   [[nodiscard]] Block encrypt(const Block& plaintext) const;
 
+  /// Encrypt a block already packed as four big-endian words (the state
+  /// layout encrypt() uses internally). Lets callers that maintain their
+  /// own word-packed state (CryptoPAN's incremental PRF input) skip the
+  /// byte<->word marshalling on both sides.
+  [[nodiscard]] std::array<std::uint32_t, 4> encrypt_words(
+      const std::array<std::uint32_t, 4>& words) const;
+
  private:
-  // 11 round keys of 16 bytes each (AES-128 = 10 rounds + initial).
-  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+  // 44 expanded key words (AES-128 = 10 rounds + initial), packed
+  // big-endian: word i holds key bytes 4i..4i+3 MSB-first.
+  std::array<std::uint32_t, 44> round_keys_{};
+  // The same schedule in raw FIPS byte order (word i byte-swapped), loadable
+  // directly by the hardware-AES path without per-round marshalling.
+  std::array<std::uint32_t, 44> round_keys_raw_{};
 };
 
 }  // namespace nbv6::net

@@ -10,10 +10,24 @@
 // anonymized forms also share exactly their first k bits (within the
 // anonymized range). This is what lets anonymized data still support
 // prefix-level analyses like per-AS aggregation.
+//
+// Performance: the PRF input for bit i is the original address's first i
+// bits followed by padding, so it is built incrementally (one word mutated
+// per step) instead of re-assembling the whole block per bit. Because the
+// PRF depends only on the bit-prefix, its outputs are memoized in a
+// direct-mapped prefix cache at byte-chunk granularity: one cache entry
+// holds the eight flip bits of one address byte, keyed by the address
+// prefix through that byte. Flow batches with shared prefixes (the common
+// case for a residence's flow log) then pay the AES cost only for the
+// bytes that actually differ. The cache makes anonymize() non-reentrant:
+// a CryptoPan instance must not be shared across threads without external
+// synchronization.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "net/aes.h"
 #include "net/ip.h"
@@ -26,7 +40,10 @@ class CryptoPan {
  public:
   using Secret = std::array<std::uint8_t, 32>;
 
-  explicit CryptoPan(const Secret& secret);
+  /// `enable_prefix_cache = false` disables PRF memoization (every bit
+  /// recomputed through AES); results are identical either way — the flag
+  /// exists for equivalence testing and memory-constrained callers.
+  explicit CryptoPan(const Secret& secret, bool enable_prefix_cache = true);
 
   /// Anonymize the low `bits` bits of an IPv4 address, preserving prefixes
   /// within that range and leaving the top (32 - bits) bits untouched.
@@ -41,13 +58,50 @@ class CryptoPan {
   /// (v4: low 8 bits; v6: low 64 bits).
   [[nodiscard]] IpAddr anonymize_paper_policy(const IpAddr& addr) const;
 
+  /// Batch entry points. Semantically identical to mapping the scalar call
+  /// over `in`, but intended for flow-export batches: shared prefixes
+  /// across the batch hit the PRF cache, so the amortized cost per address
+  /// approaches one AES call per differing byte. `out.size()` must equal
+  /// `in.size()`.
+  void anonymize_batch(std::span<const IPv4Addr> in, std::span<IPv4Addr> out,
+                       int bits = 32) const;
+  void anonymize_batch(std::span<const IPv6Addr> in, std::span<IPv6Addr> out,
+                       int bits = 64) const;
+  void anonymize_paper_policy_batch(std::span<const IpAddr> in,
+                                    std::span<IpAddr> out) const;
+
+  /// Number of AES block encryptions performed so far (cache misses only).
+  /// Exposed so tests and benchmarks can observe cache amortization.
+  [[nodiscard]] std::uint64_t prf_calls() const { return prf_calls_; }
+
  private:
-  /// One pseudo-random bit derived from the first `len` bits of `block`
-  /// (remaining bits replaced by padding), the core CryptoPAN PRF step.
-  [[nodiscard]] bool prf_bit(const Aes128::Block& prefix_padded) const;
+  // One byte-chunk of cached PRF output for a v4 prefix: `flips` bit
+  // (7 - j) is the PRF bit for address position 8*chunk + j.
+  struct CacheEntry4 {
+    std::uint64_t key;  // (prefix through chunk end) << 2 | chunk
+    std::uint8_t flips;
+  };
+  struct CacheEntry6 {
+    std::uint64_t hi, lo;  // address masked to the chunk-end prefix
+    std::uint8_t chunk;    // 0..15; 0xff = empty slot
+    std::uint8_t flips;
+  };
+
+  /// Flip bits for v4 byte `chunk` (positions [8c, 8c+8)) of `addr`,
+  /// through the cache when enabled.
+  [[nodiscard]] std::uint8_t chunk_flips(std::uint32_t addr, int chunk) const;
+  /// Same for the v6 byte `chunk` of the address given as two halves.
+  [[nodiscard]] std::uint8_t chunk_flips(std::uint64_t hi, std::uint64_t lo,
+                                         int chunk) const;
 
   Aes128 cipher_;
-  Aes128::Block pad_{};
+  // The canonical padding block, packed as big-endian words (the form the
+  // incremental PRF input assembly consumes).
+  std::array<std::uint32_t, 4> pad_words_{};
+  bool cache_enabled_;
+  mutable std::vector<CacheEntry4> cache4_;
+  mutable std::vector<CacheEntry6> cache6_;
+  mutable std::uint64_t prf_calls_ = 0;
 };
 
 }  // namespace nbv6::net

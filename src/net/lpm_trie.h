@@ -1,18 +1,39 @@
-// Longest-prefix-match binary tries for IPv4 and IPv6.
+// Longest-prefix-match tries for IPv4 and IPv6.
 //
 // The BGP table that attributes resource addresses to cloud providers
-// (cloud/bgp_table.h) needs LPM over hundreds of synthetic route
-// announcements. A path-less binary trie keyed on address bits is simple,
-// correct, and plenty fast at this scale; a production FIB would compress
-// paths, but correctness is what the tests lean on (they compare against a
-// linear-scan oracle).
+// (cloud/providers.h) and the AS attribution path (net/asn.h) both do LPM
+// over route announcements, and the attribution loops run once per resolved
+// address — millions of lookups at experiment scale.
+//
+// Implementation: an arena-backed, path-compressed (Patricia) binary trie.
+// All nodes live contiguously in one std::vector (no per-node heap
+// allocation, good locality, trivially destroyed), and runs of
+// single-child nodes are collapsed into up-to-64-bit "skip" strings, so a
+// lookup visits O(distinct branch points) nodes instead of O(address bits).
+// A batch-lookup entry point amortizes the per-call setup over address
+// vectors (the shape the attribution loops naturally have).
+//
+// Large tries additionally carry a root stride table: 2^14 slots indexed
+// by the top address bits, each recording where in the trie a lookup for
+// that slot resumes plus the best match accumulated above that point. It
+// collapses the first 14 levels of pointer chasing into one array read.
+// The table is rebuilt lazily on the first lookup after a mutation —
+// matching the build-then-query shape of every call site — which makes
+// lookups non-reentrant against concurrent inserts (document users:
+// single-threaded, or external synchronization).
 //
 // Values are stored by copy. Inserting at an existing (address, length)
 // replaces the stored value.
 #pragma once
 
-#include <memory>
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "net/ip.h"
 #include "net/prefix.h"
@@ -21,80 +42,305 @@ namespace nbv6::net {
 
 namespace detail {
 
-/// Bit accessor shared by both key widths: returns bit `i` (MSB-first) of
-/// an address.
-inline bool key_bit(const IPv4Addr& a, int i) { return a.bit(i); }
-inline bool key_bit(const IPv6Addr& a, int i) { return a.bit(i); }
+/// Canonical bit-string key: `W` 64-bit words, bits MSB-first, address bit
+/// i at word i/64, bit (63 - i%64).
+template <int W>
+using LpmKeyWords = std::array<std::uint64_t, static_cast<size_t>(W)>;
+
+inline LpmKeyWords<1> lpm_key(const IPv4Addr& a) {
+  return {std::uint64_t{a.value()} << 32};
+}
+inline LpmKeyWords<2> lpm_key(const IPv6Addr& a) {
+  return {a.high64(), a.low64()};
+}
+
+constexpr int lpm_key_bits(const IPv4Addr&) { return 32; }
+constexpr int lpm_key_bits(const IPv6Addr&) { return 128; }
+
+template <size_t W>
+inline bool key_bit(const std::array<std::uint64_t, W>& k, int i) {
+  return ((k[static_cast<size_t>(i >> 6)] >> (63 - (i & 63))) & 1) != 0;
+}
+
+/// Bits [pos, pos+len) of the key, left-aligned in a uint64 (len <= 64).
+template <size_t W>
+inline std::uint64_t key_extract(const std::array<std::uint64_t, W>& k,
+                                 int pos, int len) {
+  if (len == 0) return 0;
+  const auto word = static_cast<size_t>(pos >> 6);
+  const int off = pos & 63;
+  std::uint64_t v = k[word] << off;
+  if (off != 0 && word + 1 < W) v |= k[word + 1] >> (64 - off);
+  return len == 64 ? v : v & (~std::uint64_t{0} << (64 - len));
+}
 
 }  // namespace detail
 
-/// Binary LPM trie generic over (Addr, Prefix, V).
+/// Patricia LPM trie generic over (Addr, Prefix, V).
 ///
-/// `Prefix` must expose address()/length(); `Addr` must expose bit(i).
+/// `Prefix` must expose address()/length(); `Addr` must be convertible to a
+/// canonical bit key via detail::lpm_key.
 template <typename Addr, typename Prefix, typename V>
 class LpmTrie {
  public:
-  LpmTrie() : root_(std::make_unique<Node>()) {}
+  LpmTrie() { nodes_.push_back(Node{}); }  // root: empty skip, no value
 
   /// Insert or replace the value at `prefix`.
   void insert(const Prefix& prefix, V value) {
-    Node* node = root_.get();
-    for (int i = 0; i < prefix.length(); ++i) {
-      auto& child = detail::key_bit(prefix.address(), i) ? node->one : node->zero;
-      if (!child) child = std::make_unique<Node>();
-      node = child.get();
+    stride_dirty_ = true;
+    const auto key = detail::lpm_key(prefix.address());
+    const int len = prefix.length();
+    std::uint32_t cur = 0;
+    int depth = 0;
+    for (;;) {
+      const int sl = nodes_[cur].skip_len;
+      const int cmplen = std::min(sl, len - depth);
+      const std::uint64_t kb = detail::key_extract(key, depth, cmplen);
+      const std::uint64_t sb =
+          cmplen == 0 ? 0
+                      : nodes_[cur].skip & (~std::uint64_t{0} << (64 - cmplen));
+      int common = cmplen;
+      if (kb != sb)
+        common = std::min(cmplen, std::countl_zero(kb ^ sb));
+      if (common < sl) {
+        split(cur, common);
+        continue;  // skip now fully matchable at this node
+      }
+      depth += sl;
+      if (depth == len) {
+        if (nodes_[cur].value < 0) {
+          nodes_[cur].value = static_cast<std::int32_t>(values_.size());
+          values_.push_back(std::move(value));
+          ++size_;
+        } else {
+          values_[static_cast<size_t>(nodes_[cur].value)] = std::move(value);
+        }
+        return;
+      }
+      const int b = detail::key_bit(key, depth) ? 1 : 0;
+      if (nodes_[cur].child[b] == kNil) {
+        const std::int32_t vidx = static_cast<std::int32_t>(values_.size());
+        values_.push_back(std::move(value));
+        ++size_;
+        const std::uint32_t chain = make_chain(key, depth + 1, len, vidx);
+        nodes_[cur].child[b] = chain;  // after make_chain: no stale refs
+        return;
+      }
+      cur = nodes_[cur].child[b];
+      ++depth;
     }
-    if (!node->value) ++size_;
-    node->value = std::move(value);
   }
 
   /// Longest-prefix match: the value of the most specific stored prefix
   /// containing `addr`, or nullopt when nothing matches.
   [[nodiscard]] std::optional<V> lookup(const Addr& addr) const {
-    const Node* node = root_.get();
-    std::optional<V> best;
-    int i = 0;
-    while (node != nullptr) {
-      if (node->value) best = node->value;
-      if (i >= max_bits()) break;
-      const auto& child = detail::key_bit(addr, i) ? node->one : node->zero;
-      node = child.get();
-      ++i;
+    ensure_stride();
+    const std::int32_t idx = lookup_index(detail::lpm_key(addr),
+                                          detail::lpm_key_bits(addr));
+    if (idx < 0) return std::nullopt;
+    return values_[static_cast<size_t>(idx)];
+  }
+
+  /// Batch lookup: `out[i]` receives the LPM result for `addrs[i]`.
+  /// Equivalent to calling lookup() per element; one call site for the
+  /// attribution loops and a single place to add prefetching later.
+  void lookup_batch(std::span<const Addr> addrs,
+                    std::span<std::optional<V>> out) const {
+    ensure_stride();
+    for (size_t i = 0; i < addrs.size(); ++i) {
+      const std::int32_t idx = lookup_index(detail::lpm_key(addrs[i]),
+                                            detail::lpm_key_bits(addrs[i]));
+      out[i] = idx < 0 ? std::nullopt
+                       : std::optional<V>(values_[static_cast<size_t>(idx)]);
     }
-    return best;
+  }
+
+  [[nodiscard]] std::vector<std::optional<V>> lookup_batch(
+      std::span<const Addr> addrs) const {
+    std::vector<std::optional<V>> out(addrs.size());
+    lookup_batch(addrs, out);
+    return out;
   }
 
   /// Exact-match lookup at a specific prefix.
   [[nodiscard]] std::optional<V> at(const Prefix& prefix) const {
-    const Node* node = root_.get();
-    for (int i = 0; i < prefix.length(); ++i) {
-      const auto& child =
-          detail::key_bit(prefix.address(), i) ? node->one : node->zero;
-      if (!child) return std::nullopt;
-      node = child.get();
+    const auto key = detail::lpm_key(prefix.address());
+    const int len = prefix.length();
+    std::uint32_t cur = 0;
+    int depth = 0;
+    for (;;) {
+      const Node& n = nodes_[cur];
+      if (n.skip_len > len - depth) return std::nullopt;
+      if (n.skip_len > 0 &&
+          detail::key_extract(key, depth, n.skip_len) !=
+              (n.skip & (~std::uint64_t{0} << (64 - n.skip_len))))
+        return std::nullopt;
+      depth += n.skip_len;
+      if (depth == len) {
+        if (n.value < 0) return std::nullopt;
+        return values_[static_cast<size_t>(n.value)];
+      }
+      const std::uint32_t c = n.child[detail::key_bit(key, depth) ? 1 : 0];
+      if (c == kNil) return std::nullopt;
+      cur = c;
+      ++depth;
     }
-    return node->value;
   }
 
   [[nodiscard]] size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Arena footprint, for tests and capacity planning.
+  [[nodiscard]] size_t node_count() const { return nodes_.size(); }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Node {
-    std::unique_ptr<Node> zero;
-    std::unique_ptr<Node> one;
-    std::optional<V> value;
+    std::uint64_t skip = 0;  // left-aligned compressed path bits
+    std::uint32_t child[2] = {kNil, kNil};
+    std::int32_t value = -1;  // index into values_, -1 = none
+    std::uint8_t skip_len = 0;  // 0..64
   };
 
-  static constexpr int max_bits() {
-    if constexpr (std::is_same_v<Addr, IPv4Addr>)
-      return 32;
-    else
-      return 128;
+  using Key = decltype(detail::lpm_key(std::declval<Addr>()));
+
+  [[nodiscard]] std::int32_t lookup_index(const Key& key, int max_bits) const {
+    std::uint32_t cur = 0;
+    int depth = 0;
+    std::int32_t best = -1;
+    if (!stride_.empty()) {
+      const StrideEntry& e =
+          stride_[static_cast<size_t>(key[0] >> (64 - kStrideBits))];
+      best = e.best;
+      if (e.node == kNil) return best;
+      cur = e.node;
+      depth = e.depth;
+    }
+    for (;;) {
+      const Node& n = nodes_[cur];
+      if (n.skip_len > 0) {
+        if (n.skip_len > max_bits - depth ||
+            detail::key_extract(key, depth, n.skip_len) !=
+                (n.skip & (~std::uint64_t{0} << (64 - n.skip_len))))
+          return best;
+        depth += n.skip_len;
+      }
+      if (n.value >= 0) best = n.value;
+      if (depth >= max_bits) return best;
+      const std::uint32_t c = n.child[detail::key_bit(key, depth) ? 1 : 0];
+      if (c == kNil) return best;
+      cur = c;
+      ++depth;
+    }
   }
 
-  std::unique_ptr<Node> root_;
+  /// Split node `idx` so its skip becomes its first `common` bits; the
+  /// remainder (branch bit + tail) moves to a freshly arena-allocated
+  /// child. Parent links stay valid because `idx` keeps its slot.
+  void split(std::uint32_t idx, int common) {
+    Node upper = nodes_[idx];
+    Node lower = upper;
+    const int bb = ((upper.skip >> (63 - common)) & 1) != 0 ? 1 : 0;
+    lower.skip = common + 1 >= 64 ? 0 : upper.skip << (common + 1);
+    lower.skip_len = static_cast<std::uint8_t>(upper.skip_len - common - 1);
+    const auto lower_idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(lower);
+    Node& n = nodes_[idx];
+    n.skip_len = static_cast<std::uint8_t>(common);
+    n.skip = common == 0 ? 0 : upper.skip & (~std::uint64_t{0} << (64 - common));
+    n.child[bb] = lower_idx;
+    n.child[1 - bb] = kNil;
+    n.value = -1;
+  }
+
+  /// Arena-allocate a path carrying bits [pos, len) of `key` ending in a
+  /// node that stores `vidx`. At most ceil((len-pos)/65) nodes (a skip is
+  /// capped at 64 bits; the link to a continuation node consumes one more).
+  std::uint32_t make_chain(const Key& key, int pos, int len,
+                           std::int32_t vidx) {
+    Node n;
+    const int sl = std::min(64, len - pos);
+    n.skip = detail::key_extract(key, pos, sl);
+    n.skip_len = static_cast<std::uint8_t>(sl);
+    pos += sl;
+    if (pos == len) {
+      n.value = vidx;
+    } else {
+      const int b = detail::key_bit(key, pos) ? 1 : 0;
+      n.child[b] = make_chain(key, pos + 1, len, vidx);
+    }
+    nodes_.push_back(n);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  // ---------------------------------------------------------- stride table
+  static constexpr int kStrideBits = 14;
+  // Below this size the plain walk is already cheap; don't pay the table.
+  static constexpr size_t kStrideMinPrefixes = 64;
+
+  struct StrideEntry {
+    std::uint32_t node;  // where the walk resumes; kNil = dead end
+    std::int32_t best;   // best value index accumulated above `node`
+    std::uint8_t depth;  // trie depth at which `node`'s processing begins
+  };
+
+  void ensure_stride() const {
+    if (!stride_dirty_) return;
+    stride_dirty_ = false;
+    if (size_ < kStrideMinPrefixes) {
+      stride_.clear();
+      return;
+    }
+    stride_.assign(size_t{1} << kStrideBits, StrideEntry{kNil, -1, 0});
+    build_stride(0, 0, 0, -1);
+  }
+
+  /// Fill every slot whose top-`kStrideBits` address bits are consistent
+  /// with reaching `node` at depth `d` along path `p` (the d low bits of
+  /// p), with `best` accumulated strictly above the node.
+  void build_stride(std::uint32_t node, int d, std::uint32_t p,
+                    std::int32_t best) const {
+    const Node& n = nodes_[node];
+    const int nd = d + n.skip_len;
+    if (nd >= kStrideBits) {
+      // The walk restarted at (node, d) re-verifies the skip itself, so
+      // every slot under path p shares this entry — both the slots that
+      // match the skip and the ones that diverge inside it.
+      fill_stride(p, d, StrideEntry{node, best, static_cast<std::uint8_t>(d)});
+      return;
+    }
+    if (n.skip_len > 0) {
+      // Slots that diverge from the address path inside this node's skip
+      // stay on this default entry; the recursion below overwrites the
+      // slots that match the skip.
+      fill_stride(p, d, StrideEntry{node, best, static_cast<std::uint8_t>(d)});
+    }
+    const std::uint32_t p2 =
+        n.skip_len == 0
+            ? p
+            : (p << n.skip_len) |
+                  static_cast<std::uint32_t>(n.skip >> (64 - n.skip_len));
+    const std::int32_t best2 = n.value >= 0 ? n.value : best;
+    for (int b = 0; b < 2; ++b) {
+      const std::uint32_t p3 = (p2 << 1) | static_cast<std::uint32_t>(b);
+      if (n.child[b] == kNil)
+        fill_stride(p3, nd + 1, StrideEntry{kNil, best2, 0});
+      else
+        build_stride(n.child[b], nd + 1, p3, best2);
+    }
+  }
+
+  void fill_stride(std::uint32_t p, int d, StrideEntry e) const {
+    const size_t lo = size_t{p} << (kStrideBits - d);
+    const size_t hi = size_t{p + 1} << (kStrideBits - d);
+    for (size_t s = lo; s < hi; ++s) stride_[s] = e;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<V> values_;
   size_t size_ = 0;
+  mutable std::vector<StrideEntry> stride_;
+  mutable bool stride_dirty_ = true;
 };
 
 template <typename V>

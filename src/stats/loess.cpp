@@ -7,26 +7,21 @@
 namespace nbv6::stats {
 namespace {
 
-double tricube(double u) {
-  u = std::abs(u);
-  if (u >= 1.0) return 0.0;
-  double t = 1.0 - u * u * u;
-  return t * t * t;
-}
-
-}  // namespace
-
-std::vector<double> loess(std::span<const double> xs,
-                          std::span<const double> ys, const LoessConfig& cfg,
-                          std::span<const double> robustness) {
-  const size_t n = xs.size();
-  assert(ys.size() == n);
+// Shared kernel, parameterized on the x accessor so the unit-spaced path
+// needs no materialized x array, and on kRobust so the common
+// no-robustness path carries no per-element weight branch. The inner
+// regression loop is branchless (tricube clamped via max) so it
+// vectorizes; zero-weight points contribute zero terms, same sums.
+template <bool kRobust, typename XAt>
+void loess_core(XAt x_at, std::span<const double> ys, const LoessConfig& cfg,
+                std::span<const double> robustness, std::span<double> out) {
+  const size_t n = ys.size();
+  assert(out.size() == n);
   assert(robustness.empty() || robustness.size() == n);
-  std::vector<double> out(n, 0.0);
-  if (n == 0) return out;
+  if (n == 0) return;
   if (n == 1) {
     out[0] = ys[0];
-    return out;
+    return;
   }
 
   size_t q = cfg.span_points > 0
@@ -35,14 +30,14 @@ std::vector<double> loess(std::span<const double> xs,
                        std::max(2.0, cfg.span_fraction * static_cast<double>(n)));
   q = std::clamp<size_t>(q, 2, n);
 
-  // xs is sorted, so the q nearest neighbours of xs[i] form a contiguous
+  // x is sorted, so the q nearest neighbours of x_at(i) form a contiguous
   // window; slide it with two pointers.
   size_t lo = 0;
   for (size_t i = 0; i < n; ++i) {
+    const double xi = x_at(i);
     // Advance window while the next point right is closer than the
     // farthest point left.
-    while (lo + q < n &&
-           xs[lo + q] - xs[i] < xs[i] - xs[lo]) {
+    while (lo + q < n && x_at(lo + q) - xi < xi - x_at(lo)) {
       ++lo;
     }
     // Ensure i is inside [lo, lo+q).
@@ -50,16 +45,19 @@ std::vector<double> loess(std::span<const double> xs,
     if (i < lo) lo = i;
     size_t hi = lo + q;  // exclusive
 
-    double dmax = std::max(xs[i] - xs[lo], xs[hi - 1] - xs[i]);
+    double dmax = std::max(xi - x_at(lo), x_at(hi - 1) - xi);
     if (dmax <= 0.0) dmax = 1.0;
+    const double inv_dmax = 1.0 / dmax;
 
     // Weighted linear regression over the window.
     double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
     for (size_t j = lo; j < hi; ++j) {
-      double w = tricube((xs[j] - xs[i]) / dmax);
-      if (!robustness.empty()) w *= robustness[j];
-      if (w <= 0.0) continue;
-      double dx = xs[j] - xs[i];
+      const double dx = x_at(j) - xi;
+      const double u = std::abs(dx) * inv_dmax;
+      double t = 1.0 - u * u * u;
+      t = std::max(t, 0.0);
+      double w = t * t * t;  // tricube, zero outside the window
+      if constexpr (kRobust) w *= robustness[j];
       sw += w;
       swx += w * dx;
       swy += w * ys[j];
@@ -84,14 +82,44 @@ std::vector<double> loess(std::span<const double> xs,
       }
     }
   }
+}
+
+}  // namespace
+
+void loess_into(std::span<const double> xs, std::span<const double> ys,
+                const LoessConfig& cfg, std::span<const double> robustness,
+                std::span<double> out) {
+  assert(xs.size() == ys.size());
+  auto x_at = [xs](size_t i) { return xs[i]; };
+  if (robustness.empty())
+    loess_core<false>(x_at, ys, cfg, robustness, out);
+  else
+    loess_core<true>(x_at, ys, cfg, robustness, out);
+}
+
+void loess_unit_into(std::span<const double> ys, const LoessConfig& cfg,
+                     std::span<const double> robustness,
+                     std::span<double> out) {
+  auto x_at = [](size_t i) { return static_cast<double>(i); };
+  if (robustness.empty())
+    loess_core<false>(x_at, ys, cfg, robustness, out);
+  else
+    loess_core<true>(x_at, ys, cfg, robustness, out);
+}
+
+std::vector<double> loess(std::span<const double> xs,
+                          std::span<const double> ys, const LoessConfig& cfg,
+                          std::span<const double> robustness) {
+  std::vector<double> out(ys.size(), 0.0);
+  loess_into(xs, ys, cfg, robustness, out);
   return out;
 }
 
 std::vector<double> loess(std::span<const double> ys, const LoessConfig& cfg,
                           std::span<const double> robustness) {
-  std::vector<double> xs(ys.size());
-  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
-  return loess(xs, ys, cfg, robustness);
+  std::vector<double> out(ys.size(), 0.0);
+  loess_unit_into(ys, cfg, robustness, out);
+  return out;
 }
 
 }  // namespace nbv6::stats

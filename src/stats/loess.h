@@ -4,6 +4,12 @@
 // daily IPv6 fractions with MSTL, whose inner loops are LOESS fits).
 // Local linear fits with tricube weights; an optional robustness weight
 // vector supports STL's outer iterations.
+//
+// Two API layers: the vector-returning conveniences below, and
+// allocation-free `_into` variants that write into caller-provided output
+// spans. STL/MSTL call the `_into` forms with workspace buffers so the
+// decomposition inner loops perform no heap allocation; the unit-spaced
+// variant additionally never materializes an x array.
 #pragma once
 
 #include <span>
@@ -22,8 +28,19 @@ struct LoessConfig {
 };
 
 /// Smooth `ys` observed at `xs` (strictly increasing), evaluated back at
-/// every xs[i]. `robustness` is either empty or per-point multiplicative
-/// weights in [0,1] (STL's outer-loop bisquare weights).
+/// every xs[i], into `out` (out.size() == ys.size(); `out` must not alias
+/// `ys`). `robustness` is either empty or per-point multiplicative weights
+/// in [0,1] (STL's outer-loop bisquare weights).
+void loess_into(std::span<const double> xs, std::span<const double> ys,
+                const LoessConfig& cfg, std::span<const double> robustness,
+                std::span<double> out);
+
+/// Unit-spaced variant (x = 0..n-1): no x array needed.
+void loess_unit_into(std::span<const double> ys, const LoessConfig& cfg,
+                     std::span<const double> robustness,
+                     std::span<double> out);
+
+/// Convenience wrappers returning a fresh vector.
 std::vector<double> loess(std::span<const double> xs,
                           std::span<const double> ys, const LoessConfig& cfg,
                           std::span<const double> robustness = {});

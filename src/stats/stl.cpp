@@ -4,33 +4,44 @@
 #include <cassert>
 #include <cmath>
 
-#include "stats/descriptive.h"
 #include "stats/loess.h"
 
 namespace nbv6::stats {
-namespace {
 
-// Centered moving average of window w; edges use the available shorter
-// window. Applied twice at length `period` plus once at 3, this is STL's
-// low-pass filter.
-std::vector<double> moving_average(std::span<const double> ys, int w) {
+// Centered moving average of window w into `out` (no aliasing), O(n) via a
+// running windowed sum; edges use the available shorter window. Applied
+// twice at length `period` plus once at 3, this is STL's low-pass filter.
+//
+// Even windows use the standard centered 2×MA convention: half weight on
+// the two endpoints, full weight in between, total weight w — the
+// composition of the two half-offset w-point averages. (A plain symmetric
+// window at even w would silently average w+1 points.)
+void moving_average_into(std::span<const double> ys, int w,
+                         std::span<double> out) {
   const auto n = static_cast<int>(ys.size());
-  std::vector<double> out(static_cast<size_t>(n), 0.0);
-  if (n == 0) return out;
-  int half = w / 2;
-  // Prefix sums for O(n).
-  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
-  for (int i = 0; i < n; ++i)
-    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + ys[static_cast<size_t>(i)];
+  assert(out.size() == ys.size());
+  if (n == 0) return;
+  const int half = w / 2;
+  const bool even = (w % 2) == 0;
+  double sum = 0.0;
+  int lo = 0, hi = -1;  // current clamped window [lo, hi]
   for (int i = 0; i < n; ++i) {
-    int lo = std::max(0, i - half);
-    int hi = std::min(n - 1, i + half);
-    out[static_cast<size_t>(i)] =
-        (prefix[static_cast<size_t>(hi) + 1] - prefix[static_cast<size_t>(lo)]) /
-        static_cast<double>(hi - lo + 1);
+    const int nlo = std::max(0, i - half);
+    const int nhi = std::min(n - 1, i + half);
+    while (hi < nhi) sum += ys[static_cast<size_t>(++hi)];
+    while (lo < nlo) sum -= ys[static_cast<size_t>(lo++)];
+    if (even && i - half >= 0 && i + half <= n - 1) {
+      out[static_cast<size_t>(i)] =
+          (sum - 0.5 * ys[static_cast<size_t>(i - half)] -
+           0.5 * ys[static_cast<size_t>(i + half)]) /
+          static_cast<double>(w);
+    } else {
+      out[static_cast<size_t>(i)] = sum / static_cast<double>(nhi - nlo + 1);
+    }
   }
-  return out;
 }
+
+namespace {
 
 // Default spans follow the conventions in the STL literature: the seasonal
 // smoother wants a long span (quasi-periodic seasonality), the trend span
@@ -48,7 +59,8 @@ int default_trend_span(int period, int seasonal_span) {
 
 }  // namespace
 
-StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg) {
+void stl_decompose(std::span<const double> ys, const StlConfig& cfg,
+                   StlWorkspace& ws, StlResult& r) {
   const auto n = ys.size();
   const int period = cfg.period;
   assert(period >= 2);
@@ -62,83 +74,108 @@ StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg) {
                              ? cfg.trend_span
                              : default_trend_span(period, seasonal_span);
 
-  StlResult r;
   r.trend.assign(n, 0.0);
   r.seasonal.assign(n, 0.0);
   r.remainder.assign(n, 0.0);
 
-  std::vector<double> robustness;  // empty = all ones
+  ws.robustness.clear();  // empty = all ones
+  ws.detrended.resize(n);
+  ws.cycle.resize(n);
+  ws.lowpass.resize(n);
+  ws.lowpass2.resize(n);
+  ws.deseason.resize(n);
 
   for (int outer = 0; outer <= cfg.outer_iterations; ++outer) {
     for (int inner = 0; inner < cfg.inner_iterations; ++inner) {
       // 1. Detrend.
-      std::vector<double> detrended(n);
-      for (size_t i = 0; i < n; ++i) detrended[i] = ys[i] - r.trend[i];
+      for (size_t i = 0; i < n; ++i) ws.detrended[i] = ys[i] - r.trend[i];
 
-      // 2. Cycle-subseries smoothing: smooth each phase independently.
-      std::vector<double> c(n, 0.0);
+      // 2. Cycle-subseries smoothing: gather each phase into the workspace,
+      // smooth, scatter back — no per-phase allocations.
+      const bool robust = !ws.robustness.empty();
       for (int phase = 0; phase < period; ++phase) {
-        std::vector<double> sub;
-        std::vector<double> sub_rob;
-        for (size_t i = static_cast<size_t>(phase); i < n;
-             i += static_cast<size_t>(period)) {
-          sub.push_back(detrended[i]);
-          if (!robustness.empty()) sub_rob.push_back(robustness[i]);
-        }
-        LoessConfig lc;
-        lc.span_points = std::min<int>(seasonal_span, static_cast<int>(sub.size()));
-        lc.degree = 1;
-        auto smoothed = loess(sub, lc, sub_rob);
+        const size_t count =
+            (n - static_cast<size_t>(phase) + static_cast<size_t>(period) - 1) /
+            static_cast<size_t>(period);
+        ws.sub.resize(count);
+        ws.sub_smooth.resize(count);
+        ws.sub_rob.resize(robust ? count : 0);
         size_t k = 0;
         for (size_t i = static_cast<size_t>(phase); i < n;
              i += static_cast<size_t>(period)) {
-          c[i] = smoothed[k++];
+          ws.sub[k] = ws.detrended[i];
+          if (robust) ws.sub_rob[k] = ws.robustness[i];
+          ++k;
+        }
+        LoessConfig lc;
+        lc.span_points = std::min<int>(seasonal_span, static_cast<int>(count));
+        lc.degree = 1;
+        loess_unit_into(ws.sub, lc, ws.sub_rob, ws.sub_smooth);
+        k = 0;
+        for (size_t i = static_cast<size_t>(phase); i < n;
+             i += static_cast<size_t>(period)) {
+          ws.cycle[i] = ws.sub_smooth[k++];
         }
       }
 
       // 3. Low-pass filter the preliminary seasonal and subtract, so the
-      // seasonal carries no trend.
-      auto lp = moving_average(c, period);
-      lp = moving_average(lp, period);
-      lp = moving_average(lp, 3);
+      // seasonal carries no trend. Ping-pong between the two workspace
+      // buffers.
+      moving_average_into(ws.cycle, period, ws.lowpass);
+      moving_average_into(ws.lowpass, period, ws.lowpass2);
+      moving_average_into(ws.lowpass2, 3, ws.lowpass);
       LoessConfig lp_cfg;
       lp_cfg.span_points = trend_span;
       lp_cfg.degree = 1;
-      lp = loess(lp, lp_cfg);
-      for (size_t i = 0; i < n; ++i) r.seasonal[i] = c[i] - lp[i];
+      loess_unit_into(ws.lowpass, lp_cfg, {}, ws.lowpass2);
+      for (size_t i = 0; i < n; ++i) r.seasonal[i] = ws.cycle[i] - ws.lowpass2[i];
 
       // 4. Deseasonalize and update the trend.
-      std::vector<double> deseason(n);
-      for (size_t i = 0; i < n; ++i) deseason[i] = ys[i] - r.seasonal[i];
+      for (size_t i = 0; i < n; ++i) ws.deseason[i] = ys[i] - r.seasonal[i];
       LoessConfig tc;
       tc.span_points = std::min<int>(trend_span, static_cast<int>(n));
       tc.degree = 1;
-      r.trend = loess(deseason, tc, robustness);
+      loess_unit_into(ws.deseason, tc, ws.robustness, r.trend);
     }
 
     for (size_t i = 0; i < n; ++i)
       r.remainder[i] = ys[i] - r.trend[i] - r.seasonal[i];
 
     if (outer < cfg.outer_iterations) {
-      // Bisquare robustness weights from remainder magnitudes.
-      std::vector<double> abs_rem(n);
-      for (size_t i = 0; i < n; ++i) abs_rem[i] = std::abs(r.remainder[i]);
-      double h = 6.0 * median(abs_rem);
-      robustness.assign(n, 1.0);
+      // Bisquare robustness weights from remainder magnitudes. The median
+      // runs in-place on the workspace copy (nth_element), not on a fresh
+      // vector.
+      ws.abs_rem.resize(n);
+      for (size_t i = 0; i < n; ++i) ws.abs_rem[i] = std::abs(r.remainder[i]);
+      const auto mid = ws.abs_rem.begin() + static_cast<std::ptrdiff_t>(n / 2);
+      std::nth_element(ws.abs_rem.begin(), mid, ws.abs_rem.end());
+      double med = *mid;
+      if (n % 2 == 0) {
+        // Lower middle is the max of the first half after partitioning.
+        med = (med + *std::max_element(ws.abs_rem.begin(), mid)) / 2.0;
+      }
+      double h = 6.0 * med;
+      ws.robustness.assign(n, 1.0);
       if (h > 0) {
         for (size_t i = 0; i < n; ++i) {
-          double u = abs_rem[i] / h;
-          robustness[i] = u >= 1.0 ? 0.0 : (1 - u * u) * (1 - u * u);
+          double u = ws.abs_rem[i] / h;
+          ws.robustness[i] = u >= 1.0 ? 0.0 : (1 - u * u) * (1 - u * u);
         }
       }
     }
   }
+}
+
+StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg) {
+  StlWorkspace ws;
+  StlResult r;
+  stl_decompose(ys, cfg, ws, r);
   return r;
 }
 
-MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
+void mstl_decompose(std::span<const double> ys, const MstlConfig& cfg,
+                    StlWorkspace& ws, MstlResult& r) {
   const size_t n = ys.size();
-  MstlResult r;
 
   // Keep only periods the series can support, ascending.
   std::vector<int> periods;
@@ -146,7 +183,8 @@ MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
     if (p >= 2 && n >= static_cast<size_t>(2 * p)) periods.push_back(p);
   std::sort(periods.begin(), periods.end());
 
-  r.seasonals.assign(periods.size(), std::vector<double>(n, 0.0));
+  r.seasonals.resize(periods.size());
+  for (auto& s : r.seasonals) s.assign(n, 0.0);
   r.trend.assign(n, 0.0);
   r.remainder.assign(n, 0.0);
 
@@ -154,29 +192,32 @@ MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
     // Degenerate: no seasonality extractable; trend = LOESS of series.
     LoessConfig tc;
     tc.span_fraction = 0.5;
-    r.trend = loess(ys, tc);
+    loess_unit_into(ys, tc, {}, r.trend);
     for (size_t i = 0; i < n; ++i) r.remainder[i] = ys[i] - r.trend[i];
-    return r;
+    return;
   }
 
   // Iterative refinement (Bandara et al. §3): strip other components,
-  // re-fit this period's seasonal via STL.
+  // re-fit this period's seasonal via STL. `ws.partial` and the STL
+  // scratch result are reused across every (pass, period) iteration.
+  ws.partial.resize(n);
   for (int pass = 0; pass < std::max(1, cfg.refinement_passes); ++pass) {
     for (size_t k = 0; k < periods.size(); ++k) {
-      std::vector<double> partial(ys.begin(), ys.end());
-      for (size_t j = 0; j < periods.size(); ++j) {
-        if (j == k) continue;
-        for (size_t i = 0; i < n; ++i) partial[i] -= r.seasonals[j][i];
+      for (size_t i = 0; i < n; ++i) {
+        double v = ys[i];
+        for (size_t j = 0; j < periods.size(); ++j)
+          if (j != k) v -= r.seasonals[j][i];
+        ws.partial[i] = v;
       }
       StlConfig sc;
       sc.period = periods[k];
       sc.inner_iterations = cfg.inner_iterations;
       sc.outer_iterations = cfg.outer_iterations;
-      auto res = stl_decompose(partial, sc);
-      r.seasonals[k] = std::move(res.seasonal);
+      stl_decompose(ws.partial, sc, ws, ws.stl_scratch);
+      std::swap(r.seasonals[k], ws.stl_scratch.seasonal);
       // The trend from the longest-period STL (last refined) is the final
       // trend; intermediate ones are absorbed.
-      if (k + 1 == periods.size()) r.trend = std::move(res.trend);
+      if (k + 1 == periods.size()) std::swap(r.trend, ws.stl_scratch.trend);
     }
   }
 
@@ -185,6 +226,12 @@ MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
     for (const auto& comp : r.seasonals) s += comp[i];
     r.remainder[i] = ys[i] - r.trend[i] - s;
   }
+}
+
+MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg) {
+  StlWorkspace ws;
+  MstlResult r;
+  mstl_decompose(ys, cfg, ws, r);
   return r;
 }
 

@@ -13,6 +13,13 @@
 // MSTL iteratively refines one seasonal component per period: on each
 // refinement pass, each period's seasonal is re-estimated by STL applied to
 // the series minus all other seasonal components.
+//
+// Allocation discipline: the workspace-taking overloads perform no heap
+// allocation in the inner iterations — every detrend/gather/scatter/
+// low-pass/partial-sum buffer lives in the StlWorkspace and is reused
+// across iterations, refinement passes, and successive decompositions.
+// A FlowMonitor decomposing thousands of residence series can hold one
+// workspace and pay the allocation cost once.
 #pragma once
 
 #include <span>
@@ -35,8 +42,32 @@ struct StlResult {
   std::vector<double> remainder;
 };
 
+/// Reusable scratch space for stl_decompose / mstl_decompose. Buffers grow
+/// to the high-water mark of the series they have processed and are then
+/// reused allocation-free. A workspace may be shared by any number of
+/// sequential decompositions, but not concurrently.
+struct StlWorkspace {
+  std::vector<double> detrended;   ///< ys - trend
+  std::vector<double> cycle;       ///< cycle-subseries seasonal estimate
+  std::vector<double> lowpass;     ///< low-pass ping buffer
+  std::vector<double> lowpass2;    ///< low-pass pong buffer
+  std::vector<double> deseason;    ///< ys - seasonal
+  std::vector<double> sub;         ///< gathered cycle-subseries
+  std::vector<double> sub_rob;     ///< gathered robustness weights
+  std::vector<double> sub_smooth;  ///< smoothed cycle-subseries
+  std::vector<double> robustness;  ///< bisquare outer weights (empty = 1.0)
+  std::vector<double> abs_rem;     ///< |remainder| for the weight update
+  std::vector<double> partial;     ///< MSTL: series minus other seasonals
+  StlResult stl_scratch;           ///< MSTL: per-period STL refinement target
+};
+
 /// Decompose ys into trend + seasonal + remainder. Requires
-/// ys.size() >= 2 * period and period >= 2.
+/// ys.size() >= 2 * period and period >= 2. `out` vectors are resized as
+/// needed (reusing capacity when called repeatedly with the same shape).
+void stl_decompose(std::span<const double> ys, const StlConfig& cfg,
+                   StlWorkspace& ws, StlResult& out);
+
+/// Convenience overload owning a transient workspace.
 StlResult stl_decompose(std::span<const double> ys, const StlConfig& cfg);
 
 struct MstlConfig {
@@ -55,6 +86,18 @@ struct MstlResult {
 
 /// Multi-seasonal decomposition. Periods whose 2×period exceeds the series
 /// length are dropped (matching the statsmodels MSTL behaviour).
+void mstl_decompose(std::span<const double> ys, const MstlConfig& cfg,
+                    StlWorkspace& ws, MstlResult& out);
+
+/// STL's low-pass moving average (exposed for tests): centered MA of
+/// window `w` into `out` (no aliasing), edges truncated to the available
+/// window. Even `w` follows the centered 2×MA convention — half weight on
+/// the two endpoints — so that an MA at `w == period` cancels a
+/// period-periodic signal exactly.
+void moving_average_into(std::span<const double> ys, int w,
+                         std::span<double> out);
+
+/// Convenience overload owning a transient workspace.
 MstlResult mstl_decompose(std::span<const double> ys, const MstlConfig& cfg);
 
 }  // namespace nbv6::stats

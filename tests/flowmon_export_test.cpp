@@ -36,6 +36,25 @@ FlowRecord sample_record(bool v6 = false, Timestamp start = 100) {
   return r;
 }
 
+TEST(ExportAnonymize, BatchMatchesPerRecord) {
+  net::CryptoPan cpan(secret());
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    auto r = sample_record(i % 2 == 1, 100 + i);
+    r.key.src_port = static_cast<std::uint16_t>(40000 + i);
+    records.push_back(r);
+  }
+  auto batch = anonymize_batch(records, cpan);
+  ASSERT_EQ(batch.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto one = anonymize(records[i], cpan);
+    EXPECT_EQ(batch[i].key.src, one.key.src);
+    EXPECT_EQ(batch[i].key.dst, one.key.dst);
+    EXPECT_EQ(batch[i].key.src_port, one.key.src_port);
+    EXPECT_EQ(batch[i].bytes_out, one.bytes_out);
+  }
+}
+
 TEST(ExportSerialize, RoundTripsV4) {
   auto r = sample_record(false);
   auto line = serialize(r);

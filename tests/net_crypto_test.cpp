@@ -159,5 +159,162 @@ TEST(CryptoPan, ZeroBitsIsIdentity) {
   EXPECT_EQ(cp.anonymize(b, 0), b);
 }
 
+// ------------------------------------------------- reference equivalence
+//
+// The original (seed) CryptoPAN rebuilt the whole PRF input block for
+// every bit. It is re-implemented here verbatim as the oracle: the
+// incremental/cached production implementation must be bit-identical.
+
+class ReferenceCryptoPan {
+ public:
+  explicit ReferenceCryptoPan(const CryptoPan::Secret& secret)
+      : cipher_([&secret] {
+          Aes128::Key key{};
+          for (int i = 0; i < 16; ++i) key[static_cast<size_t>(i)] = secret[static_cast<size_t>(i)];
+          return Aes128(key);
+        }()) {
+    Aes128::Block raw_pad{};
+    for (int i = 0; i < 16; ++i)
+      raw_pad[static_cast<size_t>(i)] = secret[static_cast<size_t>(16 + i)];
+    pad_ = cipher_.encrypt(raw_pad);
+  }
+
+  [[nodiscard]] std::uint32_t anonymize_v4(std::uint32_t in, int bits) const {
+    const int start = 32 - bits;
+    std::uint32_t out = in & (bits == 32 ? 0u : ~0u << bits);
+    for (int i = start; i < 32; ++i) {
+      Aes128::Block block = pad_;
+      for (int j = 0; j < i; ++j) set_bit(block, j, ((in >> (31 - j)) & 1) != 0);
+      std::uint32_t flip = prf_bit(block) ? 1 : 0;
+      out |= (((in >> (31 - i)) & 1) ^ flip) << (31 - i);
+    }
+    return out;
+  }
+
+  [[nodiscard]] IPv6Addr anonymize_v6(const IPv6Addr& addr, int bits) const {
+    const int start = 128 - bits;
+    Aes128::Block in{};
+    for (size_t i = 0; i < 16; ++i) in[i] = addr.bytes()[i];
+    Aes128::Block out = in;
+    for (int i = start; i < 128; ++i) {
+      Aes128::Block block = pad_;
+      for (int j = 0; j < i; ++j) set_bit(block, j, get_bit(in, j));
+      set_bit(out, i, get_bit(in, i) ^ prf_bit(block));
+    }
+    IPv6Addr::Bytes result{};
+    for (size_t i = 0; i < 16; ++i) result[i] = out[i];
+    return IPv6Addr(result);
+  }
+
+ private:
+  static void set_bit(Aes128::Block& b, int i, bool v) {
+    auto byte = static_cast<size_t>(i / 8);
+    int shift = 7 - i % 8;
+    if (v)
+      b[byte] |= static_cast<std::uint8_t>(1u << shift);
+    else
+      b[byte] &= static_cast<std::uint8_t>(~(1u << shift));
+  }
+  static bool get_bit(const Aes128::Block& b, int i) {
+    return ((b[static_cast<size_t>(i / 8)] >> (7 - i % 8)) & 1) != 0;
+  }
+  [[nodiscard]] bool prf_bit(const Aes128::Block& block) const {
+    return (cipher_.encrypt(block)[0] & 0x80) != 0;
+  }
+
+  Aes128 cipher_;
+  Aes128::Block pad_{};
+};
+
+TEST(CryptoPanEquivalence, V4MatchesReferenceAllBitLengths) {
+  auto secret = test_secret(0x3c);
+  ReferenceCryptoPan ref(secret);
+  CryptoPan cached(secret);
+  CryptoPan uncached(secret, /*enable_prefix_cache=*/false);
+  stats::Rng rng(555);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = static_cast<std::uint32_t>(rng());
+    int bits = static_cast<int>(rng.below(33));
+    std::uint32_t want = ref.anonymize_v4(a, bits);
+    EXPECT_EQ(cached.anonymize(IPv4Addr(a), bits).value(), want)
+        << IPv4Addr(a).to_string() << "/" << bits;
+    EXPECT_EQ(uncached.anonymize(IPv4Addr(a), bits).value(), want)
+        << IPv4Addr(a).to_string() << "/" << bits;
+  }
+}
+
+TEST(CryptoPanEquivalence, V6MatchesReferenceAllBitLengths) {
+  auto secret = test_secret(0x71);
+  ReferenceCryptoPan ref(secret);
+  CryptoPan cached(secret);
+  CryptoPan uncached(secret, /*enable_prefix_cache=*/false);
+  stats::Rng rng(556);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto a = IPv6Addr::from_halves(rng(), rng());
+    int bits = static_cast<int>(rng.below(129));
+    auto want = ref.anonymize_v6(a, bits);
+    EXPECT_EQ(cached.anonymize(a, bits), want) << a.to_string() << "/" << bits;
+    EXPECT_EQ(uncached.anonymize(a, bits), want) << a.to_string() << "/" << bits;
+  }
+}
+
+TEST(CryptoPanEquivalence, CachedAndUncachedAgreeOnRepeats) {
+  // Repeated and prefix-sharing addresses are exactly where the cache
+  // takes over; cached results must not drift from uncached ones.
+  auto secret = test_secret(0x09);
+  CryptoPan cached(secret);
+  CryptoPan uncached(secret, false);
+  stats::Rng rng(557);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Cluster addresses under a handful of /24s to force heavy cache reuse.
+    auto a = IPv4Addr((0xC6336400u & 0xffffff00u) |
+                      (static_cast<std::uint32_t>(rng.below(4)) << 8) |
+                      static_cast<std::uint32_t>(rng.below(256)));
+    EXPECT_EQ(cached.anonymize(a).value(), uncached.anonymize(a).value());
+  }
+}
+
+TEST(CryptoPanBatch, MatchesScalarAndAmortizesPrfWork) {
+  auto secret = test_secret(0x42);
+  CryptoPan scalar_cp(secret);
+  CryptoPan batch_cp(secret);
+  stats::Rng rng(558);
+
+  std::vector<IPv4Addr> in;
+  for (int i = 0; i < 500; ++i) {
+    // One /16 worth of flow endpoints — the flow-batch shape.
+    in.emplace_back(0xCB007100u | static_cast<std::uint32_t>(rng.below(65536)));
+  }
+  std::vector<IPv4Addr> out(in.size());
+  batch_cp.anonymize_batch(in, out);
+  for (size_t i = 0; i < in.size(); ++i)
+    EXPECT_EQ(out[i].value(), scalar_cp.anonymize(in[i]).value());
+
+  // The batch shares the top two bytes, so cached PRF work must be far
+  // below the uncached cost of 32 AES calls per address.
+  CryptoPan uncached(secret, false);
+  std::vector<IPv4Addr> out2(in.size());
+  uncached.anonymize_batch(in, out2);
+  EXPECT_EQ(out, out2);
+  EXPECT_LT(batch_cp.prf_calls(), uncached.prf_calls() / 2);
+}
+
+TEST(CryptoPanBatch, PaperPolicyBatchMatchesScalar) {
+  auto secret = test_secret(0x77);
+  CryptoPan cp(secret);
+  stats::Rng rng(559);
+  std::vector<IpAddr> in;
+  for (int i = 0; i < 60; ++i) {
+    if (i % 2 == 0)
+      in.emplace_back(IPv4Addr(static_cast<std::uint32_t>(rng())));
+    else
+      in.emplace_back(IPv6Addr::from_halves(rng(), rng()));
+  }
+  std::vector<IpAddr> out(in.size());
+  cp.anonymize_paper_policy_batch(in, out);
+  for (size_t i = 0; i < in.size(); ++i)
+    EXPECT_EQ(out[i], cp.anonymize_paper_policy(in[i]));
+}
+
 }  // namespace
 }  // namespace nbv6::net

@@ -202,5 +202,67 @@ TEST_P(LpmOracleTest, MatchesLinearScanV6) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LpmOracleTest,
                          ::testing::Values(1u, 2u, 3u, 42u, 1337u));
 
+TEST_P(LpmOracleTest, BatchLookupMatchesScalar) {
+  stats::Rng rng(GetParam() ^ 0xba7c4u);
+  LpmTrie4<int> trie;
+  for (int i = 0; i < 300; ++i) {
+    trie.insert(Prefix4(IPv4Addr(static_cast<std::uint32_t>(rng())),
+                        static_cast<int>(rng.below(33))),
+                i);
+  }
+  std::vector<IPv4Addr> probes;
+  for (int t = 0; t < 400; ++t)
+    probes.emplace_back(static_cast<std::uint32_t>(rng()));
+  auto batch = trie.lookup_batch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i)
+    EXPECT_EQ(batch[i], trie.lookup(probes[i])) << probes[i].to_string();
+}
+
+TEST(LpmTrie, InterleavedInsertAndLookupStaysConsistent) {
+  // The stride accelerator is rebuilt lazily after mutations; alternate
+  // insert and lookup phases to exercise the invalidation path.
+  stats::Rng rng(2718);
+  std::vector<std::pair<Prefix4, int>> prefixes;
+  LpmTrie4<int> trie;
+  auto oracle = [&](IPv4Addr probe) {
+    int best_len = -1;
+    std::optional<int> best;
+    for (const auto& [p, v] : prefixes)
+      if (p.contains(probe) && p.length() > best_len) {
+        best_len = p.length();
+        best = v;
+      }
+    return best;
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      Prefix4 p(IPv4Addr(static_cast<std::uint32_t>(rng())),
+                static_cast<int>(rng.below(33)));
+      bool dup = false;
+      for (auto& [q, _] : prefixes) dup |= (q == p);
+      if (dup) continue;
+      int v = round * 1000 + i;
+      prefixes.emplace_back(p, v);
+      trie.insert(p, v);
+    }
+    for (int t = 0; t < 100; ++t) {
+      auto probe = IPv4Addr(static_cast<std::uint32_t>(rng()));
+      EXPECT_EQ(trie.lookup(probe), oracle(probe)) << probe.to_string();
+    }
+  }
+}
+
+TEST(LpmTrie, PathCompressionBoundsArena) {
+  // 500 random host routes in a bit-per-node trie would need ~16000 nodes;
+  // path compression keeps the arena within a small multiple of the
+  // prefix count.
+  stats::Rng rng(31415);
+  LpmTrie4<int> trie;
+  for (int i = 0; i < 500; ++i)
+    trie.insert(Prefix4(IPv4Addr(static_cast<std::uint32_t>(rng())), 32), i);
+  EXPECT_LE(trie.node_count(), 3 * trie.size() + 1);
+}
+
 }  // namespace
 }  // namespace nbv6::net

@@ -229,5 +229,106 @@ TEST(Mstl, ConstantSeriesHasZeroSeasonals) {
   for (double v : r.remainder) EXPECT_NEAR(v, 0.0, 1e-6);
 }
 
+// ------------------------------------------------------------ workspace
+
+TEST(StlWorkspaceTest, SharedWorkspaceMatchesFreshWorkspace) {
+  auto ys1 = synth_series(24 * 14, 0.0005, 0.2, 0.05, 21);
+  auto ys2 = synth_series(24 * 21, 0.001, 0.3, 0.02, 22);
+  StlConfig cfg;
+  cfg.period = 24;
+  cfg.outer_iterations = 1;
+
+  StlWorkspace shared;
+  StlResult a1, a2;
+  stl_decompose(ys1, cfg, shared, a1);
+  stl_decompose(ys2, cfg, shared, a2);  // reused, different length
+
+  auto b1 = stl_decompose(ys1, cfg);
+  auto b2 = stl_decompose(ys2, cfg);
+  EXPECT_EQ(a1.trend, b1.trend);
+  EXPECT_EQ(a1.seasonal, b1.seasonal);
+  EXPECT_EQ(a2.trend, b2.trend);
+  EXPECT_EQ(a2.seasonal, b2.seasonal);
+}
+
+TEST(StlWorkspaceTest, RepeatedDecompositionsDoNotReallocate) {
+  auto ys = synth_series(24 * 14, 0.0, 0.2, 0.05, 23);
+  StlConfig cfg;
+  cfg.period = 24;
+  StlWorkspace ws;
+  StlResult r;
+  stl_decompose(ys, cfg, ws, r);
+  // Buffers are at their high-water marks now; further same-shape runs
+  // must reuse them in place.
+  const double* detrended = ws.detrended.data();
+  const double* cycle = ws.cycle.data();
+  const double* lowpass = ws.lowpass.data();
+  const double* trend = r.trend.data();
+  for (int rep = 0; rep < 3; ++rep) stl_decompose(ys, cfg, ws, r);
+  EXPECT_EQ(ws.detrended.data(), detrended);
+  EXPECT_EQ(ws.cycle.data(), cycle);
+  EXPECT_EQ(ws.lowpass.data(), lowpass);
+  EXPECT_EQ(r.trend.data(), trend);
+}
+
+TEST(MstlWorkspaceTest, SharedWorkspaceMatchesFreshWorkspace) {
+  Rng rng(24);
+  const size_t n = 24 * 7 * 4;
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    ys[i] = 0.2 * std::sin(2 * kPi * t / 24.0) +
+            0.1 * std::sin(2 * kPi * t / 168.0) + rng.normal(0, 0.02);
+  }
+  MstlConfig cfg;
+  cfg.periods = {24, 168};
+  StlWorkspace ws;
+  MstlResult a;
+  mstl_decompose(ys, cfg, ws, a);
+  mstl_decompose(ys, cfg, ws, a);  // reuse
+  auto b = mstl_decompose(ys, cfg);
+  EXPECT_EQ(a.trend, b.trend);
+  ASSERT_EQ(a.seasonals.size(), b.seasonals.size());
+  for (size_t k = 0; k < a.seasonals.size(); ++k)
+    EXPECT_EQ(a.seasonals[k], b.seasonals[k]);
+}
+
+// ------------------------------------------------------- moving average
+
+TEST(MovingAverage, EvenWindowCancelsPeriodicSignalExactly) {
+  // The centered 2xMA at w == period sums exactly one full period with
+  // half-weighted endpoints p apart (equal values), so a pure
+  // period-periodic signal averages to its mean at every interior point.
+  // This is the property STL's low-pass relies on; a naive symmetric
+  // (w+1)-point window does not have it.
+  const int period = 24;
+  std::vector<double> ys(24 * 8);
+  for (size_t i = 0; i < ys.size(); ++i)
+    ys[i] = std::sin(2 * kPi * static_cast<double>(i) / period);
+  std::vector<double> out(ys.size());
+  moving_average_into(ys, period, out);
+  const int h = period / 2;
+  for (size_t i = static_cast<size_t>(h); i + static_cast<size_t>(h) < ys.size(); ++i)
+    EXPECT_NEAR(out[i], 0.0, 1e-12) << i;
+}
+
+TEST(MovingAverage, OddWindowIsPlainCenteredMean) {
+  std::vector<double> ys{1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> out(ys.size());
+  moving_average_into(ys, 3, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // truncated edge: (1+2)/2
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+  EXPECT_DOUBLE_EQ(out[6], 6.5);
+}
+
+TEST(MovingAverage, EvenWindowReproducesLinearSeries) {
+  // Centered 2xMA is symmetric, so linear trends pass through unchanged.
+  std::vector<double> ys(40);
+  for (size_t i = 0; i < ys.size(); ++i) ys[i] = 3.0 * static_cast<double>(i) - 7.0;
+  std::vector<double> out(ys.size());
+  moving_average_into(ys, 4, out);
+  for (size_t i = 2; i + 2 < ys.size(); ++i) EXPECT_NEAR(out[i], ys[i], 1e-9);
+}
+
 }  // namespace
 }  // namespace nbv6::stats
