@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "dns/resolver.h"
+#include "engine/flat_conntrack.h"
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
 #include "flowmon/conntrack.h"
 #include "net/cryptopan.h"
 #include "net/lpm_trie.h"
@@ -108,6 +111,67 @@ void BM_ConntrackChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_ConntrackChurn);
 
+// Identical churn loop against the flat open-addressing table; compare
+// with BM_ConntrackChurn for the fused-hash flat-table speedup.
+void BM_FlatConntrackChurn(benchmark::State& state) {
+  engine::FlatConntrack table;
+  stats::Rng rng(3);
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    net::FlowKey k;
+    k.src = net::IPv4Addr(192, 168, 1, 10);
+    k.dst = net::IPv4Addr(static_cast<std::uint32_t>(rng()));
+    k.src_port = ++port;
+    k.dst_port = 443;
+    table.open(k, 0, flowmon::Scope::external);
+    table.account(k, 0, 1000, 50000);
+    table.close(k, 10);
+  }
+}
+BENCHMARK(BM_FlatConntrackChurn);
+
+// End-to-end fleet ingest: N sampled residences simulated into flat shards
+// across 4 lanes and reduced. Arg = residence count (2 simulated days).
+void BM_FleetIngest(benchmark::State& state) {
+  auto catalog = nbv6::traffic::build_paper_catalog();
+  engine::FleetConfig cfg;
+  cfg.residences = static_cast<int>(state.range(0));
+  cfg.days = 2;
+  cfg.seed = 99;
+  auto configs = engine::sample_fleet(cfg, catalog);
+  engine::FleetEngine fleet(catalog, /*threads=*/4);
+  std::uint64_t flows = 0;
+  for (auto _ : state) {
+    auto result = fleet.run(configs);
+    flows += result.totals.flows;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["flows"] =
+      benchmark::Counter(static_cast<double>(flows), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FleetIngest)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Parallel cycle-subseries MSTL (4 lanes) on the same series shape as
+// BM_MstlDecompose for a direct speedup read-out.
+void BM_MstlDecomposeParallel(benchmark::State& state) {
+  stats::Rng rng(4);
+  std::vector<double> ys(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < ys.size(); ++i)
+    ys[i] = 0.5 + 0.2 * std::sin(2 * 3.14159 * static_cast<double>(i) / 24.0) +
+            rng.normal(0, 0.05);
+  engine::ThreadPool pool(4);
+  stats::MstlConfig cfg;
+  cfg.periods = {24, 168};
+  cfg.pool = &pool;
+  stats::StlWorkspace ws;
+  stats::MstlResult r;
+  for (auto _ : state) {
+    stats::mstl_decompose(ys, cfg, ws, r);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MstlDecomposeParallel)->Arg(24 * 30)->Arg(24 * 90)->Arg(24 * 365)->Unit(benchmark::kMillisecond);
+
 void BM_MstlDecompose(benchmark::State& state) {
   stats::Rng rng(4);
   std::vector<double> ys(static_cast<size_t>(state.range(0)));
@@ -121,7 +185,7 @@ void BM_MstlDecompose(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_MstlDecompose)->Arg(24 * 30)->Arg(24 * 90)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MstlDecompose)->Arg(24 * 30)->Arg(24 * 90)->Arg(24 * 365)->Unit(benchmark::kMillisecond);
 
 void BM_WilcoxonExact(benchmark::State& state) {
   std::vector<double> d;

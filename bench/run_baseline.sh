@@ -1,20 +1,52 @@
 #!/usr/bin/env bash
 # Refresh the committed microbenchmark baseline.
 #
-# Usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]
+# Usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]
 #
 # Runs the google-benchmark harness in JSON mode and writes the result to
-# <repo-root>/<out-name> (default BENCH_pr1.json). The file is committed at
-# the repo root as one point of the performance trajectory; future perf PRs
-# add BENCH_prN.json next to it and regress against the previous points.
-# Normally invoked through the build: `cmake --build build -t bench_baseline`.
+# <repo-root>/<out-name> (default BENCH_pr2.json). The file is committed at
+# the repo root as one point of the performance trajectory; each perf PR
+# adds BENCH_prN.json next to the previous points. When the previous
+# baseline (default BENCH_pr1.json) exists and python3 is available, a
+# regression table of common benchmarks is printed afterwards.
 set -euo pipefail
 
-BIN=${1:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]}
-ROOT=${2:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name]}
-OUT=${3:-BENCH_pr1.json}
+BIN=${1:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
+ROOT=${2:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
+OUT=${3:-BENCH_pr2.json}
+PREV=${4:-BENCH_pr1.json}
 
-exec "$BIN" \
+"$BIN" \
   --benchmark_out="$ROOT/$OUT" \
   --benchmark_out_format=json \
   --benchmark_format=console
+
+if [[ -f "$ROOT/$PREV" ]] && command -v python3 >/dev/null 2>&1; then
+  python3 - "$ROOT/$PREV" "$ROOT/$OUT" <<'PY'
+import json, sys
+
+prev_path, cur_path = sys.argv[1], sys.argv[2]
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+prev, cur = load(prev_path), load(cur_path)
+common = [n for n in cur if n in prev]
+if common:
+    print(f"\n--- regression vs {prev_path.split('/')[-1]} "
+          f"(old/new real_time; >1 is faster) ---")
+    for name in common:
+        old, new = prev[name]["real_time"], cur[name]["real_time"]
+        unit = cur[name].get("time_unit", "ns")
+        ratio = old / new if new else float("inf")
+        flag = "" if ratio >= 0.95 else "   <-- REGRESSION"
+        print(f"  {name:<36} {old:12.1f} -> {new:12.1f} {unit}  x{ratio:5.2f}{flag}")
+new_only = [n for n in cur if n not in prev]
+if new_only:
+    print("--- new benchmarks (no prior baseline) ---")
+    for name in new_only:
+        print(f"  {name:<36} {cur[name]['real_time']:12.1f} {cur[name].get('time_unit','ns')}")
+PY
+fi

@@ -21,31 +21,40 @@ std::string_view to_string(ResolveStatus s) {
 ResolveResult Resolver::resolve(std::string_view name,
                                 net::Family family) const {
   ResolveResult r;
-  std::string current = canonicalize(name);
-  r.chain.push_back(current);
+  // The chain walk never owns intermediate names: after the initial
+  // canonicalization, `current` is a view into the zone's own storage
+  // (stable while the const resolver runs), so each CNAME hop costs one
+  // heterogeneous map probe (ZoneDb::lookup answers existence, CNAME, and
+  // terminal record sets in a single find) instead of several probes and a
+  // std::string round-trip. Only the reported chain materializes strings.
+  const std::string first = canonicalize(name);
+  std::string_view current = first;
+  r.chain.emplace_back(first);
 
   for (int hop = 0; hop <= kMaxChain; ++hop) {
-    if (!db_->exists(current)) {
+    const ZoneDb::NameView view = db_->lookup(current);
+    if (!view.exists) {
       r.status = ResolveStatus::nxdomain;
       return r;
     }
-    std::string target = db_->cname(current);
-    if (!target.empty()) {
+    if (!view.cname.empty()) {
       // Loop detection: a repeated name means the chain cycles.
-      if (std::find(r.chain.begin(), r.chain.end(), target) != r.chain.end()) {
+      if (std::find(r.chain.begin(), r.chain.end(), view.cname) !=
+          r.chain.end()) {
         r.status = ResolveStatus::cname_loop;
         return r;
       }
-      current = target;
-      r.chain.push_back(current);
+      current = view.cname;
+      r.chain.emplace_back(current);
       continue;
     }
     // Terminal name: collect addresses of the requested family.
     if (family == net::Family::v4) {
-      for (auto a : db_->a_records(current)) r.addresses.emplace_back(a);
+      r.addresses.reserve(view.a->size());
+      for (auto a : *view.a) r.addresses.emplace_back(a);
     } else {
-      for (const auto& a : db_->aaaa_records(current))
-        r.addresses.emplace_back(a);
+      r.addresses.reserve(view.aaaa->size());
+      for (const auto& a : *view.aaaa) r.addresses.emplace_back(a);
     }
     r.status = r.addresses.empty() ? ResolveStatus::nodata : ResolveStatus::ok;
     return r;

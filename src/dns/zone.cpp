@@ -25,6 +25,21 @@ std::string canonicalize(std::string_view name) {
   return out;
 }
 
+bool is_canonical(std::string_view name) {
+  if (!name.empty() && name.back() == '.') return false;
+  return std::none_of(name.begin(), name.end(),
+                      [](unsigned char c) { return c >= 'A' && c <= 'Z'; });
+}
+
+const ZoneDb::Entry* ZoneDb::find_entry(std::string_view name) const {
+  if (is_canonical(name)) {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  auto it = entries_.find(canonicalize(name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
 bool ZoneDb::add_a(std::string_view name, net::IPv4Addr addr) {
   auto& e = entries_[canonicalize(name)];
   if (!e.cname.empty()) return false;
@@ -72,22 +87,32 @@ size_t ZoneDb::remove(std::string_view name, RecordType type) {
 }
 
 std::vector<net::IPv4Addr> ZoneDb::a_records(std::string_view name) const {
-  auto it = entries_.find(canonicalize(name));
-  return it == entries_.end() ? std::vector<net::IPv4Addr>{} : it->second.a;
+  const Entry* e = find_entry(name);
+  return e == nullptr ? std::vector<net::IPv4Addr>{} : e->a;
 }
 
 std::vector<net::IPv6Addr> ZoneDb::aaaa_records(std::string_view name) const {
-  auto it = entries_.find(canonicalize(name));
-  return it == entries_.end() ? std::vector<net::IPv6Addr>{} : it->second.aaaa;
+  const Entry* e = find_entry(name);
+  return e == nullptr ? std::vector<net::IPv6Addr>{} : e->aaaa;
 }
 
 std::string ZoneDb::cname(std::string_view name) const {
-  auto it = entries_.find(canonicalize(name));
-  return it == entries_.end() ? std::string{} : it->second.cname;
+  return std::string(cname_view(name));
+}
+
+std::string_view ZoneDb::cname_view(std::string_view name) const {
+  const Entry* e = find_entry(name);
+  return e == nullptr ? std::string_view{} : std::string_view(e->cname);
 }
 
 bool ZoneDb::exists(std::string_view name) const {
-  return entries_.contains(canonicalize(name));
+  return find_entry(name) != nullptr;
+}
+
+ZoneDb::NameView ZoneDb::lookup(std::string_view name) const {
+  const Entry* e = find_entry(name);
+  if (e == nullptr) return {};
+  return {true, std::string_view(e->cname), &e->a, &e->aaaa};
 }
 
 }  // namespace nbv6::dns

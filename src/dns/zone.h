@@ -24,6 +24,10 @@ std::string_view to_string(RecordType t);
 /// stored in this canonical form.
 std::string canonicalize(std::string_view name);
 
+/// True when canonicalize(name) == name, i.e. no uppercase letters and no
+/// trailing dot. Lookups on canonical names take the allocation-free path.
+bool is_canonical(std::string_view name);
+
 /// A zone database mapping owner names to records. Multiple A/AAAA records
 /// per name are allowed (round-robin sets); at most one CNAME per name, and
 /// a name with a CNAME may hold no other records (RFC 1034 §3.6.2).
@@ -43,9 +47,24 @@ class ZoneDb {
   [[nodiscard]] std::vector<net::IPv6Addr> aaaa_records(std::string_view name) const;
   /// CNAME target, or empty string if none.
   [[nodiscard]] std::string cname(std::string_view name) const;
+  /// CNAME target as a view into the zone's own storage (empty if none).
+  /// Valid until the zone is modified — the resolver's chain walk uses this
+  /// to follow hops without allocating a std::string per hop.
+  [[nodiscard]] std::string_view cname_view(std::string_view name) const;
 
   /// True when the name owns any record at all.
   [[nodiscard]] bool exists(std::string_view name) const;
+
+  /// Everything one resolution hop needs from a single map probe. Views
+  /// and pointers reference the zone's own storage: valid until the zone
+  /// is modified.
+  struct NameView {
+    bool exists = false;
+    std::string_view cname;                     ///< empty = none
+    const std::vector<net::IPv4Addr>* a = nullptr;     ///< null iff !exists
+    const std::vector<net::IPv6Addr>* aaaa = nullptr;  ///< null iff !exists
+  };
+  [[nodiscard]] NameView lookup(std::string_view name) const;
 
   [[nodiscard]] size_t name_count() const { return entries_.size(); }
 
@@ -64,6 +83,13 @@ class ZoneDb {
       return a.empty() && aaaa.empty() && cname.empty();
     }
   };
+
+  /// Heterogeneous lookup: canonical names (the overwhelmingly common case
+  /// — every stored record and every CNAME target is canonical) probe the
+  /// transparent-comparator map directly from the string_view; only
+  /// non-canonical queries pay for a canonicalized copy.
+  [[nodiscard]] const Entry* find_entry(std::string_view name) const;
+
   std::map<std::string, Entry, std::less<>> entries_;
 };
 

@@ -1,0 +1,211 @@
+#include "engine/fleet.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "engine/flat_conntrack.h"
+#include "stats/rng.h"
+
+namespace nbv6::engine {
+
+namespace {
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool parse_double(std::string_view v, double& out) {
+  // std::from_chars<double> is not universally available; strtod on a
+  // bounded copy is fine for config-file volumes.
+  std::string tmp(v);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size() && !tmp.empty();
+}
+
+bool parse_int(std::string_view v, int& out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+}  // namespace
+
+std::optional<FleetConfig> FleetConfig::parse(std::string_view text) {
+  FleetConfig cfg;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view val = trim(line.substr(eq + 1));
+
+    bool ok;
+    if (key == "residences") ok = parse_int(val, cfg.residences);
+    else if (key == "days") ok = parse_int(val, cfg.days);
+    else if (key == "threads") ok = parse_int(val, cfg.threads);
+    else if (key == "seed") ok = parse_u64(val, cfg.seed);
+    else if (key == "dual_stack_isp_frac") ok = parse_double(val, cfg.dual_stack_isp_frac);
+    else if (key == "broken_v6_frac") ok = parse_double(val, cfg.broken_v6_frac);
+    else if (key == "heavy_streamer_frac") ok = parse_double(val, cfg.heavy_streamer_frac);
+    else if (key == "background_only_frac") ok = parse_double(val, cfg.background_only_frac);
+    else if (key == "opt_out_frac") ok = parse_double(val, cfg.opt_out_frac);
+    else if (key == "absence_prob") ok = parse_double(val, cfg.absence_prob);
+    else if (key == "activity_scale_min") ok = parse_double(val, cfg.activity_scale_min);
+    else if (key == "activity_scale_max") ok = parse_double(val, cfg.activity_scale_max);
+    else return std::nullopt;  // unknown key: fail loudly, not silently
+    if (!ok) return std::nullopt;
+  }
+  if (cfg.residences < 1 || cfg.days < 1) return std::nullopt;
+  return cfg;
+}
+
+std::optional<FleetConfig> FleetConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::vector<traffic::ResidenceConfig> sample_fleet(
+    const FleetConfig& cfg, const traffic::ServiceCatalog& catalog) {
+  std::vector<traffic::ResidenceConfig> out;
+  out.reserve(static_cast<size_t>(cfg.residences));
+
+  for (int i = 0; i < cfg.residences; ++i) {
+    // Residence i's sampling stream depends only on (seed, i): stable under
+    // population resizes and independent of evaluation order.
+    std::uint64_t state =
+        cfg.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1));
+    stats::Rng rng(stats::splitmix64(state));
+
+    traffic::ResidenceConfig r;
+    r.name = "R" + std::to_string(i);
+    r.days = cfg.days;
+    r.seed = stats::splitmix64(state);  // simulator stream, distinct from sampler's
+
+    const bool v6_isp = rng.chance(cfg.dual_stack_isp_frac);
+    const bool vacant = rng.chance(cfg.background_only_frac);
+    const bool heavy = rng.chance(cfg.heavy_streamer_frac);
+
+    r.activity_scale =
+        vacant ? 0.0
+               : rng.uniform(cfg.activity_scale_min, cfg.activity_scale_max);
+    if (!v6_isp) {
+      r.device_v6_ok_frac = 0.0;  // no delegated prefix, nothing to be ok
+      r.internal_v6_frac = rng.uniform(0.0, 0.25);  // link-local-ish only
+    } else {
+      r.device_v6_ok_frac =
+          rng.chance(cfg.broken_v6_frac) ? rng.uniform(0.2, 0.6) : 1.0;
+      r.internal_v6_frac = rng.uniform(0.25, 0.98);
+    }
+    if (rng.chance(cfg.opt_out_frac)) r.visibility = rng.uniform(0.3, 0.8);
+    r.internal_flows_per_hour = rng.uniform(0.4, 6.0);
+    r.background_v4_bias = rng.uniform(0.05, 0.9);
+
+    // Service-mix tilt: heavy streamers boost every streaming/download
+    // service; everyone else gets a mild random tilt over a few services.
+    if (heavy) {
+      for (const auto& s : catalog.services()) {
+        if (s.profile == traffic::TrafficProfile::streaming ||
+            s.profile == traffic::TrafficProfile::download) {
+          r.service_weight_overrides.emplace_back(s.name,
+                                                  rng.uniform(2.0, 8.0));
+        }
+      }
+    } else {
+      for (int k = 0; k < 3; ++k) {
+        size_t idx = static_cast<size_t>(rng.below(catalog.size()));
+        r.service_weight_overrides.emplace_back(catalog.at(idx).name,
+                                                rng.uniform(0.5, 3.0));
+      }
+    }
+
+    // One scripted absence window when the horizon has room for it.
+    if (cfg.days > 14 && rng.chance(cfg.absence_prob)) {
+      int len = static_cast<int>(rng.between(2, 7));
+      int first = static_cast<int>(rng.between(3, cfg.days - len - 3));
+      r.away_day_ranges.push_back({first, first + len - 1});
+    }
+
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+FleetEngine::FleetEngine(const traffic::ServiceCatalog& catalog, int threads)
+    : catalog_(&catalog) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    threads = std::max(threads, 1);
+  }
+  lanes_ = threads;
+  // The calling thread is one lane; the pool supplies the rest.
+  if (lanes_ > 1) pool_ = std::make_unique<ThreadPool>(lanes_ - 1);
+}
+
+FleetResult FleetEngine::run(
+    const std::vector<traffic::ResidenceConfig>& configs) {
+  FleetResult out;
+  out.residences.resize(configs.size());
+
+  // One shard per residence: private RNG (seeded from the config), private
+  // flat conntrack table, private monitor. The slot vector is preallocated,
+  // so each monitor is attached at its final address and never moves while
+  // its table is alive.
+  auto run_one = [&](std::size_t i) {
+    ResidenceRun& slot = out.residences[i];
+    slot.config = configs[i];
+    FlatConntrack table;
+    slot.monitor.attach(table);
+    traffic::ResidenceSimulator sim(*catalog_, configs[i]);
+    slot.stats = sim.run(table);
+  };
+
+  if (pool_) {
+    pool_->parallel_for(configs.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
+  }
+
+  // Fixed-order reduction: counter merges are associative and commutative,
+  // so the fold order only matters for retained records (none here) — the
+  // fleet view is bit-identical for any lane count.
+  for (const auto& run : out.residences) {
+    out.fleet.merge(run.monitor);
+    out.totals.sessions += run.stats.sessions;
+    out.totals.flows += run.stats.flows;
+    out.totals.skipped_invisible += run.stats.skipped_invisible;
+    out.totals.he_failures += run.stats.he_failures;
+  }
+  return out;
+}
+
+FleetResult FleetEngine::run(const FleetConfig& cfg) {
+  return run(sample_fleet(cfg, *catalog_));
+}
+
+}  // namespace nbv6::engine

@@ -1,0 +1,121 @@
+// Fleet engine: population-scale residence simulation.
+//
+// The paper measures five instrumented households; reproducing its
+// population-level claims (Table 1 daily means across residences, the
+// cross-residence Wilcoxon comparisons) needs *many* residences run under
+// one roof. The fleet engine simulates N residences concurrently — each
+// worker lane owns a shard consisting of the residence's own RNG (seeded
+// per residence), its own FlatConntrack table, and its own FlowMonitor —
+// and reduces shard monitors into one fleet-level view in residence-index
+// order. Because residences share no mutable state and the reduction is a
+// fixed-order fold over associative counter merges, a T-thread run is
+// bit-identical to the sequential run of the same seeds for any T.
+//
+// FleetConfig is the scenario layer: one small config (parseable from a
+// key=value file) describes a whole deployment — dual-stack rollout
+// fraction, broken-CPE households, heavy streamers, vacant homes, privacy
+// opt-outs, scripted absences — from which sample_fleet() deterministically
+// derives per-residence ResidenceConfigs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "flowmon/monitor.h"
+#include "traffic/generator.h"
+#include "traffic/residence.h"
+#include "traffic/service_catalog.h"
+
+namespace nbv6::engine {
+
+/// A whole deployment in one value. Fractions are probabilities applied
+/// independently per residence; every derived quantity depends only on
+/// (seed, residence index), never on sampling order or thread count.
+struct FleetConfig {
+  int residences = 64;
+  int days = 30;
+  /// Worker lanes. <= 0 selects hardware concurrency; 1 runs on the
+  /// calling thread only (the sequential reference).
+  int threads = 0;
+  std::uint64_t seed = 1;
+
+  // ---- population mix -------------------------------------------------
+  /// Fraction of households whose ISP delegates IPv6 at all (v4-only ISPs
+  /// leave every device without working IPv6).
+  double dual_stack_isp_frac = 0.85;
+  /// Among dual-stack homes: fraction with partly broken device IPv6
+  /// (Residence C's pattern).
+  double broken_v6_frac = 0.10;
+  /// Households whose service mix is dominated by streaming/downloads.
+  double heavy_streamer_frac = 0.25;
+  /// Vacant or instrumentation-only homes: background chatter only.
+  double background_only_frac = 0.05;
+  /// Privacy opt-outs: the router sees only part of the household.
+  double opt_out_frac = 0.20;
+  /// Chance of one scripted multi-day absence window (spring-break style).
+  double absence_prob = 0.30;
+  /// Interactive activity range (mean sessions per fully-active hour).
+  double activity_scale_min = 1.0;
+  double activity_scale_max = 9.5;
+
+  /// Parse "key = value" lines ('#' starts a comment). Unknown keys or
+  /// malformed values fail the whole parse. Keys are the field names above.
+  static std::optional<FleetConfig> parse(std::string_view text);
+  /// Load from a file via parse(). nullopt if unreadable or invalid.
+  static std::optional<FleetConfig> load(const std::string& path);
+};
+
+/// Deterministically sample the residence population described by `cfg`.
+/// The catalog supplies service names for the per-household mix tilts.
+std::vector<traffic::ResidenceConfig> sample_fleet(
+    const FleetConfig& cfg, const traffic::ServiceCatalog& catalog);
+
+/// One shard's outcome: the residence, its generator stats, and its
+/// monitor (detached — the shard's conntrack table died with the worker).
+struct ResidenceRun {
+  traffic::ResidenceConfig config;
+  traffic::SimulationStats stats;
+  flowmon::FlowMonitor monitor;
+};
+
+struct FleetResult {
+  /// Index-aligned with the input configs.
+  std::vector<ResidenceRun> residences;
+  /// All shard monitors merged in residence-index order; feeds the
+  /// existing core analyses (analyze_residence, as_usage, ...) unchanged.
+  flowmon::FlowMonitor fleet;
+  traffic::SimulationStats totals;
+};
+
+class FleetEngine {
+ public:
+  /// `threads` as FleetConfig::threads.
+  explicit FleetEngine(const traffic::ServiceCatalog& catalog,
+                       int threads = 0);
+
+  /// Simulate every residence and reduce. Deterministic for fixed configs
+  /// regardless of the engine's thread count.
+  FleetResult run(const std::vector<traffic::ResidenceConfig>& configs);
+
+  /// sample_fleet() + run() in one step.
+  FleetResult run(const FleetConfig& cfg);
+
+  /// Total worker lanes (pool workers + the calling thread).
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// The engine's pool (nullptr when lanes() == 1); usable for the
+  /// parallel statistics paths between fleet runs.
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  const traffic::ServiceCatalog* catalog_;
+  int lanes_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace nbv6::engine

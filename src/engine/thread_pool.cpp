@@ -1,0 +1,109 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace nbv6::engine {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    threads = std::max(threads, 1);
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+
+  // One batch state shared by every lane; lanes drain the ticket counter.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> lanes_done{0};
+    std::mutex m;
+    std::condition_variable done;
+  };
+  auto batch = std::make_shared<Batch>();
+
+  auto lane = [batch, count, &fn] {
+    for (;;) {
+      std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  };
+
+  // The caller is one lane; pool workers add up to count-1 more.
+  const int extra = static_cast<int>(
+      std::min<std::size_t>(workers_.size(), count - 1));
+  for (int w = 0; w < extra; ++w) {
+    submit([batch, lane] {
+      lane();
+      {
+        std::lock_guard lock(batch->m);
+        batch->lanes_done.fetch_add(1, std::memory_order_relaxed);
+      }
+      batch->done.notify_one();
+    });
+  }
+  // Run the caller's lane, but never unwind past the wait: the submitted
+  // tasks reference `fn` and caller-owned state, so they must all drain
+  // before this frame can die — even when fn throws here (a throw inside
+  // a pool worker still terminates, as ~thread would).
+  std::exception_ptr error;
+  try {
+    lane();
+  } catch (...) {
+    error = std::current_exception();
+    batch->next.store(count, std::memory_order_relaxed);  // stop new tickets
+  }
+
+  // Wait for the extra lanes; each increments lanes_done exactly once.
+  {
+    std::unique_lock lock(batch->m);
+    batch->done.wait(lock,
+                     [&] { return batch->lanes_done.load() == extra; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nbv6::engine

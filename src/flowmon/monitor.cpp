@@ -8,13 +8,31 @@ std::string_view to_string(Scope s) {
 
 FlowMonitor::FlowMonitor(ConntrackTable& table, bool retain_records)
     : retain_records_(retain_records) {
+  attach(table);
+}
+
+ConntrackListener FlowMonitor::make_listener() {
   ConntrackListener listener;
   listener.on_new = [this](const net::FlowKey&, Timestamp) { ++new_events_; };
   listener.on_destroy = [this](const FlowRecord& r) {
     ++destroy_events_;
     ingest(r);
   };
-  table.subscribe(std::move(listener));
+  return listener;
+}
+
+void FlowMonitor::merge(const FlowMonitor& o) {
+  for (size_t i = 0; i < totals_.size(); ++i) totals_[i] += o.totals_[i];
+  for (size_t i = 0; i < daily_.size(); ++i)
+    for (const auto& [day, split] : o.daily_[i]) daily_[i][day] += split;
+  for (const auto& [hour, split] : o.hourly_external_)
+    hourly_external_[hour] += split;
+  for (const auto& [addr, tally] : o.dest_external_)
+    dest_external_[addr] += tally;
+  new_events_ += o.new_events_;
+  destroy_events_ += o.destroy_events_;
+  if (retain_records_)
+    records_.insert(records_.end(), o.records_.begin(), o.records_.end());
 }
 
 void FlowMonitor::ingest(const FlowRecord& r) {

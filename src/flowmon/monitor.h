@@ -32,6 +32,8 @@ struct Tally {
     flows += o.flows;
     return *this;
   }
+
+  friend bool operator==(const Tally&, const Tally&) = default;
 };
 
 /// v4/v6 split of a tally with the fraction helpers every table needs.
@@ -56,19 +58,45 @@ struct FamilySplit {
     v6 += o.v6;
     return *this;
   }
+
+  friend bool operator==(const FamilySplit&, const FamilySplit&) = default;
 };
 
 /// Per-destination tally; family is implied by the address.
 struct DestTally {
   net::IpAddr addr;
   Tally tally;
+
+  friend bool operator==(const DestTally& a, const DestTally& b) {
+    return a.addr == b.addr && a.tally == b.tally;
+  }
 };
 
 class FlowMonitor {
  public:
+  /// A detached monitor: aggregates only, no table. Used as the reduction
+  /// target when merging shard monitors into a fleet view, and by attach().
+  explicit FlowMonitor(bool retain_records = false)
+      : retain_records_(retain_records) {}
+
   /// Wires the monitor into `table`. `retain_records` keeps every record
   /// (tests and small runs only).
   explicit FlowMonitor(ConntrackTable& table, bool retain_records = false);
+
+  /// Subscribe this monitor to any conntrack-shaped table (ConntrackTable,
+  /// engine::FlatConntrack, ...). The table must not outlive the monitor,
+  /// and the monitor must not be moved while attached (the listener holds
+  /// a pointer to it); moving it *after* the table is gone is fine.
+  template <typename Table>
+  void attach(Table& table) {
+    table.subscribe(make_listener());
+  }
+
+  /// Fold another monitor's aggregates into this one. Associative and
+  /// commutative over the counter state (all sums), so any reduction tree
+  /// over shard monitors yields bit-identical totals/daily/hourly views.
+  /// Records are appended in call order when both monitors retain them.
+  void merge(const FlowMonitor& other);
 
   // --- aggregate views -----------------------------------------------
 
@@ -115,6 +143,7 @@ class FlowMonitor {
 
  private:
   static size_t index(Scope s) { return s == Scope::external ? 0 : 1; }
+  ConntrackListener make_listener();
   void ingest(const FlowRecord& r);
 
   bool retain_records_;

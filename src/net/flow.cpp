@@ -35,28 +35,47 @@ std::strong_ordering operator<=>(const FlowKey& a, const FlowKey& b) {
   return a.dst_port <=> b.dst_port;
 }
 
-size_t FlowKeyHash::operator()(const FlowKey& k) const noexcept {
-  // FNV-1a over the flat fields; quality is ample for a flow table.
-  std::uint64_t h = 14695981039346656037ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(static_cast<std::uint64_t>(k.protocol));
-  auto mix_addr = [&](const IpAddr& a) {
-    if (a.is_v4()) {
-      mix(a.v4().value());
-    } else {
-      mix(a.v6().high64());
-      mix(a.v6().low64());
-    }
-  };
-  mix_addr(k.src);
-  mix_addr(k.dst);
-  mix((std::uint64_t{k.src_port} << 16) | k.dst_port);
-  return static_cast<size_t>(h);
+namespace {
+
+// wyhash-style multiply-fold: full 128-bit product of the two halves,
+// xor-folded. One multiply per 64 bits of input, strong enough avalanche
+// for open addressing.
+inline std::uint64_t mum(std::uint64_t a, std::uint64_t b) noexcept {
+  unsigned __int128 m = static_cast<unsigned __int128>(a) * b;
+  return static_cast<std::uint64_t>(m) ^ static_cast<std::uint64_t>(m >> 64);
+}
+
+constexpr std::uint64_t kSeed0 = 0xa0761d6478bd642full;
+constexpr std::uint64_t kSeed1 = 0xe7037ed1a0b428dbull;
+constexpr std::uint64_t kSeed2 = 0x8ebc6af09c88c6e3ull;
+
+}  // namespace
+
+std::uint64_t fused_flow_hash(const FlowKey& k) noexcept {
+  // Fold protocol, per-endpoint family bits, and ports into one lane word.
+  const std::uint64_t lane =
+      (static_cast<std::uint64_t>(k.protocol) << 40) |
+      (static_cast<std::uint64_t>(k.src.is_v6()) << 33) |
+      (static_cast<std::uint64_t>(k.dst.is_v6()) << 32) |
+      (std::uint64_t{k.src_port} << 16) | k.dst_port;
+  std::uint64_t h;
+  if (k.src.is_v4() && k.dst.is_v4()) {
+    const std::uint64_t addrs = (std::uint64_t{k.src.v4().value()} << 32) |
+                                k.dst.v4().value();
+    h = mum(lane ^ kSeed0, addrs ^ kSeed1);
+  } else {
+    auto hi64 = [](const IpAddr& a) {
+      return a.is_v4() ? std::uint64_t{a.v4().value()} : a.v6().high64();
+    };
+    auto lo64 = [](const IpAddr& a) {
+      return a.is_v4() ? std::uint64_t{0} : a.v6().low64();
+    };
+    h = mum(lane ^ kSeed0, hi64(k.src) ^ kSeed1);
+    h = mum(h ^ lo64(k.src), hi64(k.dst) ^ kSeed2);
+    h = mum(h ^ lo64(k.dst), kSeed1);
+  }
+  h = mum(h, kSeed2);
+  return h == 0 ? kSeed0 : h;  // reserve 0 for flat-table empty slots
 }
 
 }  // namespace nbv6::net

@@ -234,11 +234,6 @@ std::string IpAddr::to_string() const {
   return is_v4() ? v4_.to_string() : v6_.to_string();
 }
 
-bool operator==(const IpAddr& a, const IpAddr& b) {
-  if (a.family_ != b.family_) return false;
-  return a.is_v4() ? a.v4_ == b.v4_ : a.v6_ == b.v6_;
-}
-
 std::strong_ordering operator<=>(const IpAddr& a, const IpAddr& b) {
   if (a.family_ != b.family_)
     return a.family_ == Family::v4 ? std::strong_ordering::less

@@ -122,7 +122,12 @@ class IpAddr {
 
   [[nodiscard]] std::string to_string() const;
 
-  friend bool operator==(const IpAddr& a, const IpAddr& b);
+  // Inline: address equality sits inside every conntrack probe's key
+  // comparison, the hottest compare in the flow-ingest path.
+  friend bool operator==(const IpAddr& a, const IpAddr& b) {
+    if (a.family_ != b.family_) return false;
+    return a.family_ == Family::v4 ? a.v4_ == b.v4_ : a.v6_ == b.v6_;
+  }
   friend std::strong_ordering operator<=>(const IpAddr& a, const IpAddr& b);
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/flat_conntrack.h"
+
 namespace nbv6::traffic {
 namespace {
 
@@ -154,9 +156,9 @@ ResidenceSimulator::FlowSpec ResidenceSimulator::sample_flow(
   return f;
 }
 
-void ResidenceSimulator::run_session(flowmon::ConntrackTable& table,
-                                     Timestamp t, size_t service_idx,
-                                     bool background) {
+template <typename Table>
+void ResidenceSimulator::run_session(Table& table, Timestamp t,
+                                     size_t service_idx, bool background) {
   // Opt-outs: some devices bypass the study router entirely.
   if (!rng_.chance(cfg_.visibility)) {
     ++stats_.skipped_invisible;
@@ -238,8 +240,8 @@ void ResidenceSimulator::run_session(flowmon::ConntrackTable& table,
   }
 }
 
-void ResidenceSimulator::run_internal(flowmon::ConntrackTable& table,
-                                      Timestamp t) {
+template <typename Table>
+void ResidenceSimulator::run_internal(Table& table, Timestamp t) {
   int a = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
   int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
   if (a == b) b = (b + 1) % device_count_;
@@ -261,8 +263,8 @@ void ResidenceSimulator::run_internal(flowmon::ConntrackTable& table,
   ++stats_.flows;
 }
 
-void ResidenceSimulator::simulate_hour(flowmon::ConntrackTable& table,
-                                       int day, int hour) {
+template <typename Table>
+void ResidenceSimulator::simulate_hour(Table& table, int day, int hour) {
   const Timestamp hour_start =
       static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
       static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
@@ -301,12 +303,18 @@ void ResidenceSimulator::simulate_hour(flowmon::ConntrackTable& table,
   for (int s = 0; s < internal; ++s) run_internal(table, hour_start);
 }
 
-SimulationStats ResidenceSimulator::run(flowmon::ConntrackTable& table) {
+template <typename Table>
+SimulationStats ResidenceSimulator::run(Table& table) {
   stats_ = SimulationStats{};
   for (int day = 0; day < cfg_.days; ++day)
     for (int hour = 0; hour < 24; ++hour) simulate_hour(table, day, hour);
   table.flush(static_cast<Timestamp>(cfg_.days) * flowmon::kSecondsPerDay);
   return stats_;
 }
+
+// The two conntrack sinks the library ships. New table types only need an
+// explicit instantiation here.
+template SimulationStats ResidenceSimulator::run(flowmon::ConntrackTable&);
+template SimulationStats ResidenceSimulator::run(engine::FlatConntrack&);
 
 }  // namespace nbv6::traffic

@@ -37,8 +37,12 @@ class ResidenceSimulator {
   ResidenceSimulator(const ServiceCatalog& catalog, ResidenceConfig config);
 
   /// Run the full configured period, feeding `table`. Callers typically
-  /// attach a FlowMonitor to the table first.
-  SimulationStats run(flowmon::ConntrackTable& table);
+  /// attach a FlowMonitor to the table first. `Table` is any conntrack-
+  /// shaped sink (open/account/close/flush); instantiated in generator.cpp
+  /// for flowmon::ConntrackTable and engine::FlatConntrack, so fleet shards
+  /// drive the flat hot-path table with the exact same generator code.
+  template <typename Table>
+  SimulationStats run(Table& table);
 
   /// Human presence multiplier in [0,1] for one hour slot; exposed for
   /// tests of the diurnal model.
@@ -51,10 +55,13 @@ class ResidenceSimulator {
     flowmon::Timestamp duration;
   };
 
-  void simulate_hour(flowmon::ConntrackTable& table, int day, int hour);
-  void run_session(flowmon::ConntrackTable& table, flowmon::Timestamp t,
-                   size_t service_idx, bool background);
-  void run_internal(flowmon::ConntrackTable& table, flowmon::Timestamp t);
+  template <typename Table>
+  void simulate_hour(Table& table, int day, int hour);
+  template <typename Table>
+  void run_session(Table& table, flowmon::Timestamp t, size_t service_idx,
+                   bool background);
+  template <typename Table>
+  void run_internal(Table& table, flowmon::Timestamp t);
   [[nodiscard]] bool is_away(int day) const;
 
   /// Per-profile flow count and byte sampling.

@@ -169,6 +169,47 @@ TEST(Resolver, CaseInsensitiveQueries) {
   EXPECT_EQ(r.resolve_a("MIXED.TEST.").status, ResolveStatus::ok);
 }
 
+TEST(Canonical, DetectsCanonicalForm) {
+  EXPECT_TRUE(is_canonical("www.example.com"));
+  EXPECT_TRUE(is_canonical(""));
+  EXPECT_TRUE(is_canonical("a-b.c0.net"));
+  EXPECT_FALSE(is_canonical("WWW.example.com"));
+  EXPECT_FALSE(is_canonical("example.com."));
+  EXPECT_FALSE(is_canonical("."));
+}
+
+TEST(ZoneDb, HeterogeneousLookupMatchesCanonicalized) {
+  // The allocation-free canonical fast path and the canonicalizing slow
+  // path must answer identically for every spelling of a name.
+  ZoneDb db;
+  db.add_a("www.Example.COM.", net::IPv4Addr(192, 0, 2, 1));
+  db.add_cname("alias.example.com", "www.example.com");
+  for (const char* spelling :
+       {"www.example.com", "WWW.EXAMPLE.COM", "www.example.com.",
+        "wWw.eXample.Com."}) {
+    EXPECT_TRUE(db.exists(spelling)) << spelling;
+    ASSERT_EQ(db.a_records(spelling).size(), 1u) << spelling;
+    EXPECT_EQ(db.a_records(spelling)[0], net::IPv4Addr(192, 0, 2, 1));
+  }
+  EXPECT_EQ(db.cname("ALIAS.example.com."), "www.example.com");
+  EXPECT_EQ(db.cname_view("alias.example.com"), "www.example.com");
+  EXPECT_TRUE(db.cname_view("www.example.com").empty());
+  EXPECT_TRUE(db.cname_view("missing.example.com").empty());
+}
+
+TEST(Resolver, MixedCaseChainResolvesAndReportsCanonicalChain) {
+  ZoneDb db;
+  db.add_cname("Shop.Example.com", "edge.CDN.net");
+  db.add_a("edge.cdn.net", net::IPv4Addr(203, 0, 113, 9));
+  Resolver r(db);
+  auto res = r.resolve_a("SHOP.EXAMPLE.COM.");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.chain.size(), 2u);
+  EXPECT_EQ(res.chain[0], "shop.example.com");
+  EXPECT_EQ(res.chain[1], "edge.cdn.net");
+  EXPECT_EQ(res.terminal(), "edge.cdn.net");
+}
+
 TEST(ResolveStatusNames, ToString) {
   EXPECT_EQ(to_string(ResolveStatus::ok), "ok");
   EXPECT_EQ(to_string(ResolveStatus::nodata), "nodata");

@@ -1,0 +1,304 @@
+// Fleet-engine tests: thread-pool behaviour, scenario sampling
+// determinism, monitor merge algebra, and the headline guarantee — a
+// multi-threaded fleet run is bit-identical to the sequential run of the
+// same residence seeds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "core/client_analysis.h"
+#include "engine/fleet.h"
+#include "engine/flat_conntrack.h"
+#include "engine/thread_pool.h"
+#include "flowmon/monitor.h"
+#include "traffic/generator.h"
+
+namespace nbv6::engine {
+namespace {
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesDegenerateCounts) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(64, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+// ------------------------------------------------------ scenario layer
+
+TEST(FleetConfigParse, RoundTripsKnownKeys) {
+  auto cfg = FleetConfig::parse(
+      "# a comment\n"
+      "residences = 16\n"
+      "days=7\n"
+      "threads = 2\n"
+      "seed = 99\n"
+      "dual_stack_isp_frac = 0.5  # inline comment\n"
+      "heavy_streamer_frac = 0.75\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->residences, 16);
+  EXPECT_EQ(cfg->days, 7);
+  EXPECT_EQ(cfg->threads, 2);
+  EXPECT_EQ(cfg->seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg->dual_stack_isp_frac, 0.5);
+  EXPECT_DOUBLE_EQ(cfg->heavy_streamer_frac, 0.75);
+  // Untouched keys keep defaults.
+  EXPECT_DOUBLE_EQ(cfg->opt_out_frac, FleetConfig{}.opt_out_frac);
+}
+
+TEST(FleetConfigParse, RejectsUnknownKeysAndBadValues) {
+  EXPECT_FALSE(FleetConfig::parse("no_such_knob = 1\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("days = banana\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("residences = 0\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("just a line\n").has_value());
+}
+
+TEST(SampleFleet, DeterministicPerSeedAndIndex) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 32;
+  cfg.days = 30;
+
+  auto a = sample_fleet(cfg, catalog);
+  auto b = sample_fleet(cfg, catalog);
+  ASSERT_EQ(a.size(), 32u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].activity_scale, b[i].activity_scale);
+    EXPECT_EQ(a[i].service_weight_overrides, b[i].service_weight_overrides);
+    EXPECT_EQ(a[i].away_day_ranges, b[i].away_day_ranges);
+  }
+
+  // Residence i's config must not depend on the population size: growing
+  // the fleet keeps the existing households stable.
+  cfg.residences = 48;
+  auto c = sample_fleet(cfg, catalog);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, c[i].seed);
+    EXPECT_DOUBLE_EQ(a[i].device_v6_ok_frac, c[i].device_v6_ok_frac);
+  }
+
+  // Different master seeds produce different populations.
+  cfg.residences = 32;
+  cfg.seed = 777;
+  auto d = sample_fleet(cfg, catalog);
+  int diff = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].seed != d[i].seed) ++diff;
+  EXPECT_GT(diff, 16);
+}
+
+TEST(SampleFleet, PopulationMixKnobsShapeThePopulation) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 200;
+  cfg.days = 10;
+  cfg.dual_stack_isp_frac = 0.0;
+  auto v4_only = sample_fleet(cfg, catalog);
+  for (const auto& r : v4_only) EXPECT_DOUBLE_EQ(r.device_v6_ok_frac, 0.0);
+
+  cfg.dual_stack_isp_frac = 1.0;
+  cfg.broken_v6_frac = 0.0;
+  auto all_v6 = sample_fleet(cfg, catalog);
+  for (const auto& r : all_v6) EXPECT_DOUBLE_EQ(r.device_v6_ok_frac, 1.0);
+
+  cfg.background_only_frac = 1.0;
+  auto vacant = sample_fleet(cfg, catalog);
+  for (const auto& r : vacant) EXPECT_DOUBLE_EQ(r.activity_scale, 0.0);
+}
+
+// ------------------------------------------------------- merge algebra
+
+flowmon::FlowMonitor run_residence(const traffic::ServiceCatalog& catalog,
+                                   traffic::ResidenceConfig cfg) {
+  FlatConntrack table;
+  flowmon::FlowMonitor mon;
+  mon.attach(table);
+  traffic::ResidenceSimulator sim(catalog, cfg);
+  sim.run(table);
+  return mon;
+}
+
+void expect_same_aggregates(const flowmon::FlowMonitor& a,
+                            const flowmon::FlowMonitor& b) {
+  using flowmon::Scope;
+  EXPECT_EQ(a.totals(Scope::external), b.totals(Scope::external));
+  EXPECT_EQ(a.totals(Scope::internal), b.totals(Scope::internal));
+  EXPECT_EQ(a.daily(Scope::external), b.daily(Scope::external));
+  EXPECT_EQ(a.daily(Scope::internal), b.daily(Scope::internal));
+  EXPECT_EQ(a.hourly_external(), b.hourly_external());
+  EXPECT_EQ(a.destination_tallies(), b.destination_tallies());
+  EXPECT_EQ(a.new_events(), b.new_events());
+  EXPECT_EQ(a.destroy_events(), b.destroy_events());
+  // Derived fraction series are pure functions of the integer state.
+  EXPECT_EQ(a.daily_v6_fractions(Scope::external, true),
+            b.daily_v6_fractions(Scope::external, true));
+  EXPECT_EQ(a.hourly_v6_fraction_series(true),
+            b.hourly_v6_fraction_series(true));
+}
+
+TEST(MonitorMerge, AssociativeAndOrderIndependent) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig fc;
+  fc.residences = 3;
+  fc.days = 3;
+  auto configs = sample_fleet(fc, catalog);
+  auto m0 = run_residence(catalog, configs[0]);
+  auto m1 = run_residence(catalog, configs[1]);
+  auto m2 = run_residence(catalog, configs[2]);
+
+  // (m0 + m1) + m2
+  flowmon::FlowMonitor left;
+  left.merge(m0);
+  left.merge(m1);
+  left.merge(m2);
+  // m0 + (m1 + m2)
+  flowmon::FlowMonitor inner;
+  inner.merge(m1);
+  inner.merge(m2);
+  flowmon::FlowMonitor right;
+  right.merge(m0);
+  right.merge(inner);
+  expect_same_aggregates(left, right);
+
+  // Counter state is also commutative: reversed order, same aggregates.
+  flowmon::FlowMonitor rev;
+  rev.merge(m2);
+  rev.merge(m1);
+  rev.merge(m0);
+  expect_same_aggregates(left, rev);
+}
+
+TEST(MonitorMerge, MergingEmptyIsIdentity) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig fc;
+  fc.residences = 1;
+  fc.days = 2;
+  auto configs = sample_fleet(fc, catalog);
+  auto m = run_residence(catalog, configs[0]);
+
+  flowmon::FlowMonitor merged;
+  merged.merge(m);
+  merged.merge(flowmon::FlowMonitor{});
+  expect_same_aggregates(merged, m);
+}
+
+// -------------------------------------------------- fleet determinism
+
+// The acceptance bar: a 4-lane fleet run of 64 residences produces
+// aggregates bit-identical to the sequential run of the same seeds.
+TEST(FleetEngine, FourThreadRunMatchesSequentialBitForBit) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 64;
+  cfg.days = 2;  // short horizon keeps the test fast; 64 shards is the point
+  cfg.seed = 20260726;
+  auto configs = sample_fleet(cfg, catalog);
+
+  FleetEngine sequential(catalog, /*threads=*/1);
+  FleetEngine parallel(catalog, /*threads=*/4);
+  auto seq = sequential.run(configs);
+  auto par = parallel.run(configs);
+
+  // Fleet-level reduction: bit-identical.
+  expect_same_aggregates(seq.fleet, par.fleet);
+  EXPECT_EQ(seq.totals.sessions, par.totals.sessions);
+  EXPECT_EQ(seq.totals.flows, par.totals.flows);
+  EXPECT_EQ(seq.totals.skipped_invisible, par.totals.skipped_invisible);
+  EXPECT_EQ(seq.totals.he_failures, par.totals.he_failures);
+
+  // Every shard individually too.
+  ASSERT_EQ(seq.residences.size(), par.residences.size());
+  for (size_t i = 0; i < seq.residences.size(); ++i) {
+    EXPECT_EQ(seq.residences[i].stats.sessions,
+              par.residences[i].stats.sessions)
+        << "residence " << i;
+    EXPECT_EQ(seq.residences[i].stats.flows, par.residences[i].stats.flows);
+    expect_same_aggregates(seq.residences[i].monitor,
+                           par.residences[i].monitor);
+  }
+
+  // And thread count must not matter beyond 4 either.
+  FleetEngine wide(catalog, /*threads=*/8);
+  auto w = wide.run(configs);
+  expect_same_aggregates(seq.fleet, w.fleet);
+}
+
+TEST(FleetEngine, FlatShardMatchesReferenceTableAggregates) {
+  // One residence simulated into the reference unordered_map table and
+  // into a flat shard: monitor aggregates must agree exactly.
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig fc;
+  fc.residences = 1;
+  fc.days = 4;
+  auto configs = sample_fleet(fc, catalog);
+
+  flowmon::ConntrackTable ref_table;
+  flowmon::FlowMonitor ref_mon(ref_table);
+  traffic::ResidenceSimulator ref_sim(catalog, configs[0]);
+  auto ref_stats = ref_sim.run(ref_table);
+
+  FlatConntrack flat_table;
+  flowmon::FlowMonitor flat_mon;
+  flat_mon.attach(flat_table);
+  traffic::ResidenceSimulator flat_sim(catalog, configs[0]);
+  auto flat_stats = flat_sim.run(flat_table);
+
+  EXPECT_EQ(ref_stats.sessions, flat_stats.sessions);
+  EXPECT_EQ(ref_stats.flows, flat_stats.flows);
+  expect_same_aggregates(ref_mon, flat_mon);
+}
+
+TEST(FleetEngine, FleetViewFeedsCoreAnalyses) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 8;
+  cfg.days = 3;
+  FleetEngine engine(catalog, 2);
+  auto result = engine.run(cfg);
+
+  EXPECT_EQ(result.residences.size(), 8u);
+  EXPECT_GT(result.totals.flows, 0u);
+  // The merged view is a plain FlowMonitor: totals must equal the sum of
+  // the shard totals.
+  std::uint64_t shard_bytes = 0;
+  for (const auto& r : result.residences)
+    shard_bytes += r.monitor.external_bytes();
+  EXPECT_EQ(result.fleet.external_bytes(), shard_bytes);
+
+  // And the core reporting layer consumes the fleet result directly.
+  auto report = core::analyze_fleet(result);
+  EXPECT_EQ(report.residences.size(), 8u);
+  EXPECT_EQ(report.fleet.name, "fleet");
+  EXPECT_NEAR(report.fleet.external.total_gb,
+              static_cast<double>(shard_bytes) / 1e9, 1e-9);
+  EXPECT_GT(report.residence_byte_fraction.count, 0u);
+}
+
+}  // namespace
+}  // namespace nbv6::engine

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "engine/flat_conntrack.h"
 #include "flowmon/conntrack.h"
 #include "flowmon/monitor.h"
+#include "stats/rng.h"
 
 namespace nbv6::flowmon {
 namespace {
@@ -22,8 +26,17 @@ net::FlowKey make_key(std::uint8_t host, std::uint16_t port,
   return k;
 }
 
-TEST(Conntrack, NewAndDestroyEventsFire) {
-  ConntrackTable table;
+// Shared fixture: every conntrack behaviour test runs against both the
+// std::unordered_map reference table and the flat open-addressing table,
+// pinning engine::FlatConntrack to ConntrackTable semantics.
+template <typename Table>
+class ConntrackLike : public ::testing::Test {};
+
+using ConntrackImpls = ::testing::Types<ConntrackTable, engine::FlatConntrack>;
+TYPED_TEST_SUITE(ConntrackLike, ConntrackImpls);
+
+TYPED_TEST(ConntrackLike, NewAndDestroyEventsFire) {
+  TypeParam table;
   int news = 0, destroys = 0;
   ConntrackListener l;
   l.on_new = [&](const net::FlowKey&, Timestamp) { ++news; };
@@ -39,8 +52,8 @@ TEST(Conntrack, NewAndDestroyEventsFire) {
   EXPECT_EQ(table.live_count(), 0u);
 }
 
-TEST(Conntrack, ReopenLiveFlowIsNoop) {
-  ConntrackTable table;
+TYPED_TEST(ConntrackLike, ReopenLiveFlowIsNoop) {
+  TypeParam table;
   int news = 0;
   ConntrackListener l;
   l.on_new = [&](const net::FlowKey&, Timestamp) { ++news; };
@@ -51,8 +64,8 @@ TEST(Conntrack, ReopenLiveFlowIsNoop) {
   EXPECT_EQ(news, 1);
 }
 
-TEST(Conntrack, AccountingAccumulates) {
-  ConntrackTable table;
+TYPED_TEST(ConntrackLike, AccountingAccumulates) {
+  TypeParam table;
   FlowRecord last;
   ConntrackListener l;
   l.on_destroy = [&](const FlowRecord& r) { last = r; };
@@ -71,20 +84,20 @@ TEST(Conntrack, AccountingAccumulates) {
   EXPECT_GT(last.packets_in, 0u);
 }
 
-TEST(Conntrack, MidstreamPickupOpensImplicitly) {
-  ConntrackTable table;
+TYPED_TEST(ConntrackLike, MidstreamPickupOpensImplicitly) {
+  TypeParam table;
   auto k = make_key(3, 1002);
   EXPECT_FALSE(table.account(k, 50, 10, 10));  // false: implicitly opened
   EXPECT_EQ(table.live_count(), 1u);
 }
 
-TEST(Conntrack, CloseUnknownFlowFails) {
-  ConntrackTable table;
+TYPED_TEST(ConntrackLike, CloseUnknownFlowFails) {
+  TypeParam table;
   EXPECT_FALSE(table.close(make_key(4, 1003), 10));
 }
 
-TEST(Conntrack, SweepEvictsIdleFlows) {
-  ConntrackTable table(/*idle_timeout=*/60);
+TYPED_TEST(ConntrackLike, SweepEvictsIdleFlows) {
+  TypeParam table(/*idle_timeout=*/60);
   int destroys = 0;
   ConntrackListener l;
   l.on_destroy = [&](const FlowRecord&) { ++destroys; };
@@ -98,8 +111,8 @@ TEST(Conntrack, SweepEvictsIdleFlows) {
   EXPECT_EQ(table.live_count(), 1u);
 }
 
-TEST(Conntrack, FlushClosesEverything) {
-  ConntrackTable table;
+TYPED_TEST(ConntrackLike, FlushClosesEverything) {
+  TypeParam table;
   int destroys = 0;
   ConntrackListener l;
   l.on_destroy = [&](const FlowRecord&) { ++destroys; };
@@ -109,6 +122,89 @@ TEST(Conntrack, FlushClosesEverything) {
   table.flush(100);
   EXPECT_EQ(destroys, 2);
   EXPECT_EQ(table.live_count(), 0u);
+}
+
+// High-churn workload crossing several table growths: bookkeeping must
+// stay exact through rehashes and backward-shift deletions.
+TYPED_TEST(ConntrackLike, ChurnThroughGrowthKeepsBookkeeping) {
+  TypeParam table(/*idle_timeout=*/600);
+  std::uint64_t destroyed_bytes = 0;
+  int destroys = 0;
+  ConntrackListener l;
+  l.on_destroy = [&](const FlowRecord& r) {
+    ++destroys;
+    destroyed_bytes += r.total_bytes();
+  };
+  table.subscribe(std::move(l));
+
+  constexpr int kFlows = 5000;
+  for (int i = 0; i < kFlows; ++i) {
+    auto k = make_key(static_cast<std::uint8_t>(i % 251),
+                      static_cast<std::uint16_t>(i), i % 3 == 0);
+    table.open(k, i, Scope::external);
+    table.account(k, i, 100, 900);
+    if (i % 2 == 0) table.close(k, i + 5);  // half stay live
+  }
+  EXPECT_EQ(table.live_count(), kFlows / 2u);
+  EXPECT_EQ(destroys, kFlows / 2);
+  // Evict the rest via sweep (all idle long past the timeout).
+  EXPECT_EQ(table.sweep(kFlows + 700), kFlows / 2u);
+  EXPECT_EQ(table.live_count(), 0u);
+  EXPECT_EQ(destroys, kFlows);
+  EXPECT_EQ(destroyed_bytes, static_cast<std::uint64_t>(kFlows) * 1000u);
+}
+
+// The two implementations must agree flow-by-flow, not just in aggregate:
+// drive an identical randomized open/account/close/sweep schedule into both
+// and compare the full per-key destroy records.
+TEST(FlatConntrackEquivalence, MatchesReferenceTablePerFlow) {
+  ConntrackTable ref(/*idle_timeout=*/120);
+  engine::FlatConntrack flat(/*idle_timeout=*/120);
+  std::map<net::FlowKey, FlowRecord> ref_records, flat_records;
+  ConntrackListener rl, fl;
+  rl.on_destroy = [&](const FlowRecord& r) { ref_records[r.key] = r; };
+  fl.on_destroy = [&](const FlowRecord& r) { flat_records[r.key] = r; };
+  ref.subscribe(std::move(rl));
+  flat.subscribe(std::move(fl));
+
+  std::uint64_t x = 42;
+  for (int step = 0; step < 20000; ++step) {
+    std::uint64_t r = stats::splitmix64(x);
+    auto k = make_key(static_cast<std::uint8_t>(r % 97),
+                      static_cast<std::uint16_t>((r >> 8) % 500),
+                      (r >> 20) % 2 == 0);
+    Timestamp now = step;
+    switch ((r >> 32) % 4) {
+      case 0:
+        ref.open(k, now, Scope::external);
+        flat.open(k, now, Scope::external);
+        break;
+      case 1:
+        EXPECT_EQ(ref.account(k, now, r % 1000, r % 3000),
+                  flat.account(k, now, r % 1000, r % 3000));
+        break;
+      case 2:
+        EXPECT_EQ(ref.close(k, now), flat.close(k, now));
+        break;
+      case 3:
+        if (step % 500 == 0) EXPECT_EQ(ref.sweep(now), flat.sweep(now));
+        break;
+    }
+    ASSERT_EQ(ref.live_count(), flat.live_count()) << "step " << step;
+  }
+  ref.flush(30000);
+  flat.flush(30000);
+  ASSERT_EQ(ref_records.size(), flat_records.size());
+  for (const auto& [key, rec] : ref_records) {
+    auto it = flat_records.find(key);
+    ASSERT_TRUE(it != flat_records.end()) << key.to_string();
+    EXPECT_EQ(rec.start, it->second.start);
+    EXPECT_EQ(rec.end, it->second.end);
+    EXPECT_EQ(rec.bytes_out, it->second.bytes_out);
+    EXPECT_EQ(rec.bytes_in, it->second.bytes_in);
+    EXPECT_EQ(rec.packets_out, it->second.packets_out);
+    EXPECT_EQ(rec.packets_in, it->second.packets_in);
+  }
 }
 
 // ------------------------------------------------------------ monitor

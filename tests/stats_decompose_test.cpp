@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/thread_pool.h"
 #include "stats/descriptive.h"
 #include "stats/loess.h"
 #include "stats/rng.h"
@@ -291,6 +292,58 @@ TEST(MstlWorkspaceTest, SharedWorkspaceMatchesFreshWorkspace) {
   ASSERT_EQ(a.seasonals.size(), b.seasonals.size());
   for (size_t k = 0; k < a.seasonals.size(); ++k)
     EXPECT_EQ(a.seasonals[k], b.seasonals[k]);
+}
+
+// ------------------------------------------------------- parallel STL
+
+TEST(ParallelStl, PooledCycleSubseriesMatchesSequentialBitForBit) {
+  // The per-phase LOESS fits are period-independent; fanning them across a
+  // pool must not change a single bit of any component.
+  auto ys = synth_series(24 * 21, 0.0008, 0.25, 0.04, 31);
+  StlConfig cfg;
+  cfg.period = 24;
+  cfg.outer_iterations = 1;  // exercise the robustness-weighted path too
+
+  auto seq = stl_decompose(ys, cfg);
+
+  engine::ThreadPool pool(4);
+  cfg.pool = &pool;
+  StlWorkspace ws;
+  StlResult par;
+  stl_decompose(ys, cfg, ws, par);
+
+  EXPECT_EQ(seq.trend, par.trend);
+  EXPECT_EQ(seq.seasonal, par.seasonal);
+  EXPECT_EQ(seq.remainder, par.remainder);
+
+  // Workspace reuse across pooled runs stays exact as well.
+  StlResult par2;
+  stl_decompose(ys, cfg, ws, par2);
+  EXPECT_EQ(par.seasonal, par2.seasonal);
+}
+
+TEST(ParallelStl, PooledMstlMatchesSequential) {
+  Rng rng(77);
+  const size_t n = 24 * 7 * 6;
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    ys[i] = 0.5 + 0.2 * std::sin(2 * kPi * t / 24.0) +
+            0.1 * std::sin(2 * kPi * t / 168.0) + rng.normal(0, 0.03);
+  }
+  MstlConfig cfg;
+  cfg.periods = {24, 168};
+  auto seq = mstl_decompose(ys, cfg);
+
+  engine::ThreadPool pool(4);
+  cfg.pool = &pool;
+  auto par = mstl_decompose(ys, cfg);
+
+  EXPECT_EQ(seq.trend, par.trend);
+  ASSERT_EQ(seq.seasonals.size(), par.seasonals.size());
+  for (size_t k = 0; k < seq.seasonals.size(); ++k)
+    EXPECT_EQ(seq.seasonals[k], par.seasonals[k]);
+  EXPECT_EQ(seq.remainder, par.remainder);
 }
 
 // ------------------------------------------------------- moving average
