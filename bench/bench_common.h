@@ -10,6 +10,7 @@
 //   NBV6_DAYS   residence days      (default 274, Nov 2024 - Aug 2025)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "cloud/providers.h"
 #include "core/client_analysis.h"
+#include "engine/fleet.h"
 #include "core/server_analysis.h"
 #include "flowmon/monitor.h"
 #include "stats/descriptive.h"
@@ -32,6 +34,11 @@ namespace nbv6::bench {
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
 inline void section(const std::string& title) {
@@ -79,6 +86,19 @@ inline std::vector<SimulatedResidence> simulate_residences(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+/// The fleet figure binaries' shared scenario knobs, one place so both
+/// figures always run the same fleet:
+///   NBV6_FLEET_RESIDENCES (256)  NBV6_FLEET_DAYS (14)
+///   NBV6_FLEET_SEED (20260726)   NBV6_FLEET_THREADS (0 = hw concurrency)
+inline engine::FleetConfig fleet_config_from_env() {
+  engine::FleetConfig cfg;
+  cfg.residences = env_int("NBV6_FLEET_RESIDENCES", 256);
+  cfg.days = env_int("NBV6_FLEET_DAYS", 14);
+  cfg.seed = env_u64("NBV6_FLEET_SEED", 20260726);
+  cfg.threads = env_int("NBV6_FLEET_THREADS", 0);
+  return cfg;
 }
 
 /// The standard web universe at NBV6_SITES scale.

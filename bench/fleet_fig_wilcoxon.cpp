@@ -1,0 +1,60 @@
+// Fleet figure: cross-fleet Wilcoxon panels — Fig. 12's Holm-corrected
+// pairwise comparison machinery applied to residence strata instead of
+// cloud providers. Each default group pair (healthy-v6 vs broken-CPE,
+// dual-stack vs v4-only, streamer vs baseline, visible vs opt-out) gets an
+// unpaired rank-sum panel over every fleet metric; active homes get the
+// paired signed-rank metric panel. Writes one TSV for plotting or CI
+// artifact upload and prints it to stdout.
+//
+//   ./build/fleet_fig_wilcoxon [panel-out.tsv]
+//
+// Scale knobs via environment as in fleet_fig_cdf.
+#include <cstdio>
+
+#include "core/fleet_analysis.h"
+#include "engine/fleet.h"
+#include "traffic/service_catalog.h"
+
+#include "bench_common.h"
+
+using namespace nbv6;
+
+int main(int argc, char** argv) {
+  const char* panel_path = argc > 1 ? argv[1] : "fleet_wilcoxon.tsv";
+
+  auto cfg = bench::fleet_config_from_env();
+  bench::section("Fleet figure: Wilcoxon group-comparison panels");
+  auto catalog = traffic::build_paper_catalog();
+  engine::FleetEngine fleet(catalog, cfg.threads);
+  std::printf("fleet: %d residences x %d days on %d lane(s)\n",
+              cfg.residences, cfg.days, fleet.lanes());
+  auto result = fleet.run(cfg);
+
+  auto report = core::fleet_stats_report(result, fleet.pool());
+
+  std::FILE* out = std::fopen(panel_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", panel_path);
+    return 1;
+  }
+  bool first = true;
+  for (const auto& cmp : report.comparisons) {
+    std::printf("\n-- %s vs %s --\n", core::to_string(cmp.group_a),
+                core::to_string(cmp.group_b));
+    core::write_panel_tsv(stdout, cmp);
+    core::write_panel_tsv(out, cmp, first);
+    first = false;
+  }
+  std::printf("\n-- paired metric panel (active homes) --\n");
+  core::write_panel_tsv(stdout, report.paired);
+  core::write_panel_tsv(out, report.paired, first);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", panel_path);
+
+  std::printf(
+      "\nShape check vs paper: the broken-CPE and v4-only strata sit far "
+      "below their\ncounterparts on every v6-fraction metric (large negative "
+      "effect r, significant\nafter Holm); volume metrics separate streamers "
+      "from baseline homes.\n");
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "flowmon/conntrack.h"
 #include "net/cryptopan.h"
 #include "net/lpm_trie.h"
+#include "stats/fleet_stats.h"
 #include "stats/rng.h"
 #include "stats/stl.h"
 #include "stats/wilcoxon.h"
@@ -196,6 +197,36 @@ void BM_WilcoxonExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WilcoxonExact);
+
+void BM_RankSumNormalApprox(benchmark::State& state) {
+  // Fleet-panel shape: two residence strata of `Arg` homes each, metric
+  // values in [0, 1], tested through the tie-corrected normal path.
+  const auto n = static_cast<size_t>(state.range(0));
+  stats::Rng rng(3);
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.uniform(0.0, 1.0));
+    ys.push_back(rng.uniform(0.1, 1.0));
+  }
+  for (auto _ : state) {
+    auto r = stats::wilcoxon_rank_sum(xs, ys);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RankSumNormalApprox)->Arg(64)->Arg(1024);
+
+void BM_StreamingCdfAdd(benchmark::State& state) {
+  stats::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  for (auto _ : state) {
+    stats::StreamingCdf acc(0.0, 1.0, 128);
+    acc.add(xs);
+    benchmark::DoNotOptimize(acc.quantile(0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_StreamingCdfAdd);
 
 }  // namespace
 

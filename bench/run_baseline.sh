@@ -1,31 +1,69 @@
 #!/usr/bin/env bash
 # Refresh the committed microbenchmark baseline.
 #
-# Usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]
+# Usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]
 #
 # Runs the google-benchmark harness in JSON mode and writes the result to
-# <repo-root>/<out-name> (default BENCH_pr2.json). The file is committed at
+# <repo-root>/<out-name> (default BENCH_pr3.json). The file is committed at
 # the repo root as one point of the performance trajectory; each perf PR
 # adds BENCH_prN.json next to the previous points. When the previous
-# baseline (default BENCH_pr1.json) exists and python3 is available, a
+# baseline (default BENCH_pr2.json) exists and python3 is available, a
 # regression table of common benchmarks is printed afterwards.
+#
+# With --check (or NBV6_BENCH_CHECK=1) the script exits non-zero when any
+# common benchmark regressed by more than 25% vs the previous baseline
+# (new real_time > 1.25x old), making the table usable as a local or CI
+# bench gate. Check runs write their JSON to a throwaway temp file unless
+# an out-name is passed explicitly, so a quick gate pass never overwrites
+# the committed baseline; a missing previous baseline or python3 fails the
+# gate rather than silently passing. Extra benchmark arguments can be
+# forwarded via NBV6_BENCH_ARGS (e.g.
+# NBV6_BENCH_ARGS=--benchmark_min_time=0.01s for a smoke run).
 set -euo pipefail
 
-BIN=${1:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
-ROOT=${2:?usage: run_baseline.sh <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
-OUT=${3:-BENCH_pr2.json}
-PREV=${4:-BENCH_pr1.json}
+CHECK=${NBV6_BENCH_CHECK:-0}
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
+
+BIN=${1:?usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
+ROOT=${2:?usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
+OUT=${3:-BENCH_pr3.json}
+PREV=${4:-BENCH_pr2.json}
+
+# Gate runs (typically short smoke passes) must not clobber the committed
+# baseline: unless an out-name was given explicitly, a --check run writes
+# its JSON to a throwaway file instead of $ROOT/$OUT.
+OUT_PATH="$ROOT/$OUT"
+if [[ "$CHECK" == "1" && -z "${3:-}" ]]; then
+  OUT_PATH=$(mktemp /tmp/nbv6-bench-check.XXXXXX.json)
+  trap 'rm -f "$OUT_PATH"' EXIT
+fi
+
+if [[ "$CHECK" == "1" ]]; then
+  # A gate that cannot check must fail, not silently pass.
+  if [[ ! -f "$ROOT/$PREV" ]]; then
+    echo "error: --check requested but previous baseline $ROOT/$PREV is missing" >&2
+    exit 1
+  fi
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "error: --check requested but python3 is unavailable" >&2
+    exit 1
+  fi
+fi
 
 "$BIN" \
-  --benchmark_out="$ROOT/$OUT" \
+  --benchmark_out="$OUT_PATH" \
   --benchmark_out_format=json \
-  --benchmark_format=console
+  --benchmark_format=console \
+  ${NBV6_BENCH_ARGS:-}
 
 if [[ -f "$ROOT/$PREV" ]] && command -v python3 >/dev/null 2>&1; then
-  python3 - "$ROOT/$PREV" "$ROOT/$OUT" <<'PY'
+  python3 - "$ROOT/$PREV" "$OUT_PATH" "$CHECK" <<'PY'
 import json, sys
 
-prev_path, cur_path = sys.argv[1], sys.argv[2]
+prev_path, cur_path, check = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
 def load(path):
     with open(path) as f:
         data = json.load(f)
@@ -34,6 +72,10 @@ def load(path):
 
 prev, cur = load(prev_path), load(cur_path)
 common = [n for n in cur if n in prev]
+regressed = []
+# Two labeled tiers: >5% slower earns an informational notice in the
+# table; >25% slower is what the --check gate fails on.
+NOTICE, GATE = 1.05, 1.25
 if common:
     print(f"\n--- regression vs {prev_path.split('/')[-1]} "
           f"(old/new real_time; >1 is faster) ---")
@@ -41,12 +83,25 @@ if common:
         old, new = prev[name]["real_time"], cur[name]["real_time"]
         unit = cur[name].get("time_unit", "ns")
         ratio = old / new if new else float("inf")
-        flag = "" if ratio >= 0.95 else "   <-- REGRESSION"
+        if new > GATE * old:
+            regressed.append((name, ratio))
+            flag = "   <-- REGRESSION (>25%, gates --check)"
+        elif new > NOTICE * old:
+            flag = "   <-- slower (>5%)"
+        else:
+            flag = ""
         print(f"  {name:<36} {old:12.1f} -> {new:12.1f} {unit}  x{ratio:5.2f}{flag}")
 new_only = [n for n in cur if n not in prev]
 if new_only:
     print("--- new benchmarks (no prior baseline) ---")
     for name in new_only:
         print(f"  {name:<36} {cur[name]['real_time']:12.1f} {cur[name].get('time_unit','ns')}")
+
+if check and regressed:
+    print(f"\nFAIL: {len(regressed)} benchmark(s) regressed >25% "
+          f"vs {prev_path.split('/')[-1]}:")
+    for name, ratio in regressed:
+        print(f"  {name}  x{ratio:.2f}")
+    sys.exit(1)
 PY
 fi

@@ -7,10 +7,16 @@
 // scenario seed, fans the simulation out over a FlatConntrack shard per
 // residence, and reduces the shard monitors into one fleet view.
 //
+// Closes with the fleet-statistics layer: population stratum sizes and the
+// Holm-corrected Wilcoxon group-comparison panels (rank-sum between
+// strata, signed-rank between paired metrics) — the paper's cross-
+// residence comparisons at fleet scale.
+//
 //   ./build/example_fleet_scenario [scenario.cfg]
 #include <cstdio>
 
 #include "core/client_analysis.h"
+#include "core/fleet_analysis.h"
 #include "engine/fleet.h"
 #include "stats/descriptive.h"
 #include "stats/wilcoxon.h"
@@ -30,12 +36,12 @@ int main(int argc, char** argv) {
   }
 
   auto catalog = traffic::build_paper_catalog();
-  auto configs = engine::sample_fleet(cfg, catalog);
+  auto sampled = engine::sample_fleet_detailed(cfg, catalog);
   engine::FleetEngine fleet(catalog, cfg.threads);
   std::printf("fleet: %d residences x %d days on %d lane(s)\n",
               cfg.residences, cfg.days, fleet.lanes());
 
-  auto result = fleet.run(configs);
+  auto result = fleet.run(sampled);
   std::printf("simulated %llu sessions, %llu flows (%llu invisible, %llu HE "
               "failures)\n",
               static_cast<unsigned long long>(result.totals.sessions),
@@ -71,5 +77,25 @@ int main(int argc, char** argv) {
                 "p=%.2g, effect r=%.2f\n",
                 w->n, w->z, w->p_value, w->effect_size_r);
   }
+
+  // Fleet statistics: stratum sizes, then the Holm-corrected Wilcoxon
+  // group-comparison panels over the per-residence shards.
+  auto stats_report = core::fleet_stats_report(result, fleet.pool());
+  std::printf("\npopulation strata:");
+  for (auto g : {core::FleetGroup::healthy_v6, core::FleetGroup::broken_cpe,
+                 core::FleetGroup::v4_only, core::FleetGroup::heavy_streamer,
+                 core::FleetGroup::opt_out, core::FleetGroup::active}) {
+    std::printf(" %s=%zu", core::to_string(g),
+                core::group_members(result.traits, g).size());
+  }
+  std::printf("\n");
+
+  for (const auto& cmp : stats_report.comparisons) {
+    std::printf("\n-- %s vs %s (unpaired rank-sum, Holm alpha=0.05) --\n",
+                core::to_string(cmp.group_a), core::to_string(cmp.group_b));
+    core::write_panel_tsv(stdout, cmp);
+  }
+  std::printf("\n-- paired metric panel over active homes --\n");
+  core::write_panel_tsv(stdout, stats_report.paired);
   return 0;
 }

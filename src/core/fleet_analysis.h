@@ -1,0 +1,165 @@
+// Fleet-scale statistical reporting: from per-residence shards to the
+// paper's population-level comparisons.
+//
+// The fleet engine leaves every residence's monitor intact next to the
+// merged fleet view; this layer extracts per-residence scalar metrics from
+// those shards (fanned out over the engine's ThreadPool, index-addressed so
+// any lane count is bit-identical), groups residences by the strata the
+// scenario sampler recorded (dual-stack vs broken-CPE, streamer vs
+// baseline, ...), and renders
+//   - unpaired Wilcoxon rank-sum panels between group pairs, Holm-corrected
+//     across metrics (Fig. 12's family-wise control applied fleet-wide),
+//   - paired signed-rank panels between metric pairs over one group, and
+//   - population CDFs and box-plot summaries per metric (Figs. 1/3/4 scaled
+//     from five homes to the population).
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/fleet.h"
+#include "stats/descriptive.h"
+#include "stats/fleet_stats.h"
+
+namespace nbv6::core {
+
+// ------------------------------------------------------ metric extraction
+
+/// Per-residence scalar metrics, each a pure function of one shard.
+enum class FleetMetric {
+  v6_byte_fraction,        ///< overall external IPv6 byte fraction
+  v6_flow_fraction,        ///< overall external IPv6 flow fraction
+  daily_v6_byte_fraction,  ///< mean of the daily external byte-fraction series
+  external_gb,             ///< external bytes, GB
+  external_flows_k,        ///< external flows, thousands
+  internal_gb,             ///< internal (LAN) bytes, GB
+  he_failure_rate,         ///< Happy Eyeballs failures per session
+};
+
+const char* to_string(FleetMetric m);
+
+/// The panel every report defaults to.
+std::vector<FleetMetric> default_fleet_metrics();
+
+/// values[m][i] = metric m at residence i; NaN when undefined there (no
+/// traffic in the relevant scope). Row-aligned with `metrics`.
+struct FleetMetricMatrix {
+  std::vector<FleetMetric> metrics;
+  std::vector<std::vector<double>> values;
+
+  [[nodiscard]] std::span<const double> row(FleetMetric m) const;
+  [[nodiscard]] size_t residences() const {
+    return values.empty() ? 0 : values[0].size();
+  }
+};
+
+/// Extract every requested metric from every shard. `pool` fans residences
+/// out (nullptr runs sequentially); each shard's metrics land in its own
+/// index-addressed slot, so results are bit-identical for any lane count.
+FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
+                                  std::span<const FleetMetric> metrics,
+                                  engine::ThreadPool* pool = nullptr);
+
+// ----------------------------------------------------------- group specs
+
+/// Residence groups definable from sampled stratum labels.
+enum class FleetGroup {
+  all,
+  active,          ///< not vacant
+  dual_stack,      ///< ISP delegates IPv6
+  v4_only,         ///< ISP does not
+  healthy_v6,      ///< dual-stack, CPE/device IPv6 intact
+  broken_cpe,      ///< dual-stack but flaky device IPv6
+  heavy_streamer,
+  baseline,        ///< neither heavy streamer nor vacant
+  opt_out,         ///< partial router visibility
+  fully_visible,
+};
+
+const char* to_string(FleetGroup g);
+
+[[nodiscard]] bool in_group(const engine::ResidenceTraits& t, FleetGroup g);
+
+/// Residence indices belonging to `g`, in index order.
+std::vector<size_t> group_members(
+    std::span<const engine::ResidenceTraits> traits, FleetGroup g);
+
+/// The default comparison pairs: each isolates one causal factor the paper
+/// identifies for cross-residence variation.
+std::vector<std::pair<FleetGroup, FleetGroup>> default_group_pairs();
+
+// ------------------------------------------------------------- reporting
+
+/// One group pair's panel: every metric tested A vs B with the unpaired
+/// rank-sum test, Holm-corrected across the panel's metrics.
+struct GroupComparison {
+  FleetGroup group_a;
+  FleetGroup group_b;
+  std::vector<stats::PanelRow> rows;
+};
+
+GroupComparison compare_groups(const FleetMetricMatrix& matrix,
+                               std::span<const engine::ResidenceTraits> traits,
+                               FleetGroup a, FleetGroup b,
+                               double alpha = 0.05);
+
+/// Paired signed-rank panel over one group: each (first, second) metric
+/// pair tested across the residences where both are defined, Holm-corrected
+/// across the pairs.
+GroupComparison compare_metrics_paired(
+    const FleetMetricMatrix& matrix,
+    std::span<const engine::ResidenceTraits> traits, FleetGroup group,
+    std::span<const std::pair<FleetMetric, FleetMetric>> metric_pairs,
+    double alpha = 0.05);
+
+/// One metric's population distribution: streaming CDF (bin-resolution
+/// quantiles, mergeable) next to the exact box plot and summary.
+struct PopulationDistribution {
+  FleetMetric metric;
+  size_t defined = 0;  ///< residences where the metric is defined
+  stats::StreamingCdf cdf;
+  stats::BoxPlot box;
+  stats::Summary summary;
+};
+
+/// Distributions for every matrix row. Fraction metrics bin over [0, 1];
+/// unbounded metrics over [0, observed max].
+std::vector<PopulationDistribution> population_distributions(
+    const FleetMetricMatrix& matrix, int bins = 128);
+
+/// The full fleet-statistics report.
+struct FleetStatsReport {
+  FleetMetricMatrix matrix;
+  std::vector<GroupComparison> comparisons;  ///< unpaired, default pairs
+  GroupComparison paired;                    ///< flow- vs byte-fraction etc.
+  std::vector<PopulationDistribution> distributions;
+};
+
+/// Build the whole report from a fleet run that carried traits
+/// (run(FleetConfig) / run(SampledFleet)); throws std::invalid_argument
+/// when the result has no index-aligned traits. Deterministic per
+/// (result, alpha) for any `pool` lane count.
+FleetStatsReport fleet_stats_report(const engine::FleetResult& result,
+                                    engine::ThreadPool* pool = nullptr,
+                                    double alpha = 0.05);
+
+// ------------------------------------------------------------- rendering
+
+/// Panel as TSV: one row per metric, preceded by the column header when
+/// `header` (pass false to append panels into one file).
+void write_panel_tsv(std::FILE* out, const GroupComparison& cmp,
+                     bool header = true);
+
+/// CDF curves as CSV rows "metric,q,value", `points + 1` rows per metric.
+void write_cdf_csv(std::FILE* out,
+                   std::span<const PopulationDistribution> dists,
+                   int points = 100);
+
+/// Box/summary rows as CSV "metric,count,mean,sd,min,p25,median,p75,max".
+void write_summary_csv(std::FILE* out,
+                       std::span<const PopulationDistribution> dists);
+
+}  // namespace nbv6::core

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "engine/flat_conntrack.h"
@@ -92,8 +93,14 @@ std::optional<FleetConfig> FleetConfig::load(const std::string& path) {
 
 std::vector<traffic::ResidenceConfig> sample_fleet(
     const FleetConfig& cfg, const traffic::ServiceCatalog& catalog) {
-  std::vector<traffic::ResidenceConfig> out;
-  out.reserve(static_cast<size_t>(cfg.residences));
+  return sample_fleet_detailed(cfg, catalog).configs;
+}
+
+SampledFleet sample_fleet_detailed(const FleetConfig& cfg,
+                                   const traffic::ServiceCatalog& catalog) {
+  SampledFleet out;
+  out.configs.reserve(static_cast<size_t>(cfg.residences));
+  out.traits.reserve(static_cast<size_t>(cfg.residences));
 
   for (int i = 0; i < cfg.residences; ++i) {
     // Residence i's sampling stream depends only on (seed, i): stable under
@@ -107,9 +114,10 @@ std::vector<traffic::ResidenceConfig> sample_fleet(
     r.days = cfg.days;
     r.seed = stats::splitmix64(state);  // simulator stream, distinct from sampler's
 
-    const bool v6_isp = rng.chance(cfg.dual_stack_isp_frac);
-    const bool vacant = rng.chance(cfg.background_only_frac);
-    const bool heavy = rng.chance(cfg.heavy_streamer_frac);
+    ResidenceTraits t;
+    const bool v6_isp = t.dual_stack_isp = rng.chance(cfg.dual_stack_isp_frac);
+    const bool vacant = t.vacant = rng.chance(cfg.background_only_frac);
+    const bool heavy = t.heavy_streamer = rng.chance(cfg.heavy_streamer_frac);
 
     r.activity_scale =
         vacant ? 0.0
@@ -118,11 +126,12 @@ std::vector<traffic::ResidenceConfig> sample_fleet(
       r.device_v6_ok_frac = 0.0;  // no delegated prefix, nothing to be ok
       r.internal_v6_frac = rng.uniform(0.0, 0.25);  // link-local-ish only
     } else {
-      r.device_v6_ok_frac =
-          rng.chance(cfg.broken_v6_frac) ? rng.uniform(0.2, 0.6) : 1.0;
+      t.broken_v6 = rng.chance(cfg.broken_v6_frac);
+      r.device_v6_ok_frac = t.broken_v6 ? rng.uniform(0.2, 0.6) : 1.0;
       r.internal_v6_frac = rng.uniform(0.25, 0.98);
     }
-    if (rng.chance(cfg.opt_out_frac)) r.visibility = rng.uniform(0.3, 0.8);
+    t.opt_out = rng.chance(cfg.opt_out_frac);
+    if (t.opt_out) r.visibility = rng.uniform(0.3, 0.8);
     r.internal_flows_per_hour = rng.uniform(0.4, 6.0);
     r.background_v4_bias = rng.uniform(0.05, 0.9);
 
@@ -146,12 +155,14 @@ std::vector<traffic::ResidenceConfig> sample_fleet(
 
     // One scripted absence window when the horizon has room for it.
     if (cfg.days > 14 && rng.chance(cfg.absence_prob)) {
+      t.scripted_absence = true;
       int len = static_cast<int>(rng.between(2, 7));
       int first = static_cast<int>(rng.between(3, cfg.days - len - 3));
       r.away_day_ranges.push_back({first, first + len - 1});
     }
 
-    out.push_back(std::move(r));
+    out.configs.push_back(std::move(r));
+    out.traits.push_back(t);
   }
   return out;
 }
@@ -204,8 +215,20 @@ FleetResult FleetEngine::run(
   return out;
 }
 
+FleetResult FleetEngine::run(const SampledFleet& fleet) {
+  // Traits index into the residence vector downstream (group comparisons),
+  // so a hand-built SampledFleet with mismatched sizes must fail here, not
+  // as an out-of-bounds read later.
+  if (fleet.traits.size() != fleet.configs.size())
+    throw std::invalid_argument(
+        "FleetEngine::run: SampledFleet traits/configs size mismatch");
+  FleetResult out = run(fleet.configs);
+  out.traits = fleet.traits;
+  return out;
+}
+
 FleetResult FleetEngine::run(const FleetConfig& cfg) {
-  return run(sample_fleet(cfg, *catalog_));
+  return run(sample_fleet_detailed(cfg, *catalog_));
 }
 
 }  // namespace nbv6::engine

@@ -70,10 +70,38 @@ struct FleetConfig {
   static std::optional<FleetConfig> load(const std::string& path);
 };
 
+/// Which population strata a sampled residence fell into — the group
+/// labels the fleet-statistics layer compares across (dual-stack vs
+/// broken-CPE, streamer vs baseline, ...). Pure function of (seed, index),
+/// recorded at sampling time so group membership never has to be
+/// re-inferred from simulated traffic.
+struct ResidenceTraits {
+  bool dual_stack_isp = false;  ///< ISP delegates IPv6 at all
+  bool broken_v6 = false;       ///< dual-stack but flaky CPE/device IPv6
+  bool heavy_streamer = false;
+  bool vacant = false;           ///< background chatter only
+  bool opt_out = false;          ///< partial router visibility
+  bool scripted_absence = false;
+
+  friend bool operator==(const ResidenceTraits&,
+                         const ResidenceTraits&) = default;
+};
+
+/// A sampled population with its stratum labels, index-aligned.
+struct SampledFleet {
+  std::vector<traffic::ResidenceConfig> configs;
+  std::vector<ResidenceTraits> traits;
+};
+
 /// Deterministically sample the residence population described by `cfg`.
 /// The catalog supplies service names for the per-household mix tilts.
 std::vector<traffic::ResidenceConfig> sample_fleet(
     const FleetConfig& cfg, const traffic::ServiceCatalog& catalog);
+
+/// sample_fleet() plus the per-residence stratum labels. Draws the exact
+/// same RNG stream, so .configs is identical to sample_fleet()'s output.
+SampledFleet sample_fleet_detailed(const FleetConfig& cfg,
+                                   const traffic::ServiceCatalog& catalog);
 
 /// One shard's outcome: the residence, its generator stats, and its
 /// monitor (detached — the shard's conntrack table died with the worker).
@@ -86,6 +114,10 @@ struct ResidenceRun {
 struct FleetResult {
   /// Index-aligned with the input configs.
   std::vector<ResidenceRun> residences;
+  /// Stratum labels, index-aligned with `residences`. Filled when the run
+  /// started from a FleetConfig or SampledFleet; empty for raw config
+  /// vectors (no sampling happened, so there are no strata).
+  std::vector<ResidenceTraits> traits;
   /// All shard monitors merged in residence-index order; feeds the
   /// existing core analyses (analyze_residence, as_usage, ...) unchanged.
   flowmon::FlowMonitor fleet;
@@ -102,7 +134,10 @@ class FleetEngine {
   /// regardless of the engine's thread count.
   FleetResult run(const std::vector<traffic::ResidenceConfig>& configs);
 
-  /// sample_fleet() + run() in one step.
+  /// run(fleet.configs) carrying the stratum labels into the result.
+  FleetResult run(const SampledFleet& fleet);
+
+  /// sample_fleet_detailed() + run() in one step.
   FleetResult run(const FleetConfig& cfg);
 
   /// Total worker lanes (pool workers + the calling thread).

@@ -1,0 +1,230 @@
+#include "stats/fleet_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/wilcoxon.h"
+
+namespace nbv6::stats {
+
+namespace {
+
+// Exact null distribution of the rank sum R1 for n1 untied ranks drawn
+// from {1..n}: counts[k][s] = number of k-subsets summing to s, via DP.
+// Used when both samples are small and there are no ties.
+double exact_rank_sum_two_sided_p(int n1, int n2, double u1) {
+  const int n = n1 + n2;
+  const int max_sum = n * (n + 1) / 2;
+  // counts[k][s], rolled over k in decreasing order.
+  std::vector<std::vector<double>> counts(
+      static_cast<size_t>(n1) + 1,
+      std::vector<double>(static_cast<size_t>(max_sum) + 1, 0.0));
+  counts[0][0] = 1.0;
+  for (int r = 1; r <= n; ++r)
+    for (int k = std::min(n1, r); k >= 1; --k)
+      for (int s = max_sum; s >= r; --s)
+        counts[static_cast<size_t>(k)][static_cast<size_t>(s)] +=
+            counts[static_cast<size_t>(k - 1)][static_cast<size_t>(s - r)];
+
+  double total = 0.0;
+  for (double c : counts[static_cast<size_t>(n1)]) total += c;
+
+  // U1 = R1 - n1(n1+1)/2 ranges over [0, n1*n2], symmetric around its
+  // midpoint under the null. Two-sided: double the smaller tail.
+  const int offset = n1 * (n1 + 1) / 2;
+  const double u_max = static_cast<double>(n1) * n2;
+  double lo_stat = std::min(u1, u_max - u1);
+  double tail = 0.0;
+  for (int u = 0; u <= static_cast<int>(std::floor(lo_stat + 1e-9)); ++u)
+    tail += counts[static_cast<size_t>(n1)][static_cast<size_t>(u + offset)];
+  return std::min(1.0, 2.0 * tail / total);
+}
+
+}  // namespace
+
+std::optional<RankSumResult> wilcoxon_rank_sum(std::span<const double> xs,
+                                               std::span<const double> ys) {
+  const size_t n1 = xs.size();
+  const size_t n2 = ys.size();
+  if (n1 == 0 || n2 == 0) return std::nullopt;
+  const size_t n = n1 + n2;
+
+  // Midranks of the pooled sample by signed value, with the tie structure
+  // collected in the same pass. tie_term > 0 iff any tie group exists.
+  std::vector<double> pooled;
+  pooled.reserve(n);
+  pooled.insert(pooled.end(), xs.begin(), xs.end());
+  pooled.insert(pooled.end(), ys.begin(), ys.end());
+  double tie_term = 0.0;
+  auto ranks = midranks_signed(pooled, tie_term);
+  const bool has_ties = tie_term > 0.0;
+
+  double r1 = 0.0;
+  for (size_t i = 0; i < n1; ++i) r1 += ranks[i];
+
+  RankSumResult out;
+  out.n1 = n1;
+  out.n2 = n2;
+  out.u1 = r1 - static_cast<double>(n1) * (static_cast<double>(n1) + 1.0) / 2.0;
+
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double dn = static_cast<double>(n);
+  const double mean_u = dn1 * dn2 / 2.0;
+
+  if (!has_ties && n1 <= 12 && n2 <= 12) {
+    out.p_value = exact_rank_sum_two_sided_p(static_cast<int>(n1),
+                                             static_cast<int>(n2), out.u1);
+    double var_u = dn1 * dn2 * (dn + 1.0) / 12.0;
+    out.z = var_u > 0 ? (out.u1 - mean_u) / std::sqrt(var_u) : 0.0;
+  } else {
+    // Normal approximation; ties shrink the variance by the pooled tie
+    // term, and the continuity correction pulls toward the mean.
+    double var_u =
+        dn1 * dn2 / 12.0 * ((dn + 1.0) - tie_term / (dn * (dn - 1.0)));
+    if (var_u <= 0) {
+      out.p_value = 1.0;  // every pooled value identical: no evidence
+      out.z = 0.0;
+    } else {
+      double num = out.u1 - mean_u;
+      double cc = num > 0 ? -0.5 : (num < 0 ? 0.5 : 0.0);
+      out.z = (num + cc) / std::sqrt(var_u);
+      out.p_value = std::min(1.0, 2.0 * (1.0 - normal_cdf(std::abs(out.z))));
+    }
+  }
+
+  out.effect_size_r = std::clamp(out.z / std::sqrt(dn), -1.0, 1.0);
+  return out;
+}
+
+// ------------------------------------------------------- StreamingCdf
+
+StreamingCdf::StreamingCdf(double lo, double hi, int bins)
+    : lo_(lo),
+      width_((hi - lo) / std::max(bins, 1)),
+      bins_(static_cast<size_t>(std::max(bins, 1)), 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  // A hard error, not an assert: Release builds (the default) would
+  // otherwise bin into a non-positive width and return silent garbage.
+  if (!(hi > lo))
+    throw std::invalid_argument("StreamingCdf: requires hi > lo");
+}
+
+void StreamingCdf::add(double x) {
+  // Undefined metric values (NaN sentinel) and infinities (divide-by-zero
+  // artifacts) carry no information — and one inf would poison the Welford
+  // moments for good — so only finite values count.
+  if (!std::isfinite(x)) return;
+  // Clamp in floating point BEFORE the integer cast: casting an
+  // out-of-long-range double (huge values, +-inf) is UB.
+  double pos = std::clamp(std::floor((x - lo_) / width_), 0.0,
+                          static_cast<double>(bins_.size() - 1));
+  ++bins_[static_cast<size_t>(pos)];
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingCdf::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+void StreamingCdf::merge(const StreamingCdf& other) {
+  // Mismatched layouts would add counts across incompatible bin widths —
+  // silently wrong in Release builds — so this is a hard error too.
+  if (other.lo_ != lo_ || other.width_ != width_ ||
+      other.bins_.size() != bins_.size())
+    throw std::invalid_argument(
+        "StreamingCdf::merge: accumulators must share (lo, hi, bins)");
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  // Chan et al.'s pairwise moment combination.
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  count_ += other.count_;
+  double nn = static_cast<double>(count_);
+  mean_ += delta * nb / nn;
+  m2_ += other.m2_ + delta * delta * na * nb / nn;
+}
+
+double StreamingCdf::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingCdf::stddev() const {
+  return count_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double StreamingCdf::min() const { return count_ == 0 ? 0.0 : min_; }
+double StreamingCdf::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double StreamingCdf::cdf(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  double pos = (x - lo_) / width_;
+  // Clamp in floating point before the cast (out-of-range casts are UB);
+  // values clamped into the edge bins at add() time clamp the same way.
+  double bd = std::clamp(std::floor(pos), 0.0,
+                         static_cast<double>(bins_.size() - 1));
+  auto b = static_cast<size_t>(bd);
+  std::uint64_t below = 0;
+  for (size_t i = 0; i < b; ++i) below += bins_[i];
+  double frac = std::clamp(pos - bd, 0.0, 1.0);
+  double in_bin = frac * static_cast<double>(bins_[b]);
+  return (static_cast<double>(below) + in_bin) / static_cast<double>(count_);
+}
+
+double StreamingCdf::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (size_t b = 0; b < bins_.size(); ++b) {
+    std::uint64_t c = bins_[b];
+    if (static_cast<double>(cum + c) >= target && c > 0) {
+      double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      double v = lo_ + width_ * (static_cast<double>(b) + frac);
+      return std::clamp(v, min_, max_);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
+Summary StreamingCdf::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  s.p25 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.p75 = quantile(0.75);
+  return s;
+}
+
+// ------------------------------------------------------- panel adjust
+
+void holm_adjust(std::span<PanelRow> rows, double alpha) {
+  std::vector<double> ps;
+  ps.reserve(rows.size());
+  for (const auto& r : rows) ps.push_back(r.p_raw);
+  auto holm = holm_bonferroni(ps, alpha);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].p_holm = holm.adjusted_p[i];
+    rows[i].significant = holm.reject[i];
+  }
+}
+
+}  // namespace nbv6::stats

@@ -9,26 +9,48 @@ namespace nbv6::stats {
 
 double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
-std::vector<double> midranks(std::span<const double> values) {
+namespace {
+
+// Shared midrank engine: rank by key(value), ties share the average of the
+// ranks they occupy, and the pooled tie term sum(t^3 - t) accumulates into
+// `tie_term` when requested.
+template <typename Key>
+std::vector<double> midranks_by(std::span<const double> values, Key key,
+                                double* tie_term) {
   const size_t n = values.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return std::abs(values[a]) < std::abs(values[b]);
+    return key(values[a]) < key(values[b]);
   });
   std::vector<double> ranks(n, 0.0);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
-    while (j + 1 < n &&
-           std::abs(values[order[j + 1]]) == std::abs(values[order[i]]))
+    while (j + 1 < n && key(values[order[j + 1]]) == key(values[order[i]]))
       ++j;
     // Positions i..j (0-based) share the average rank of positions i+1..j+1.
     double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
     for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    if (tie_term != nullptr) {
+      double t = static_cast<double>(j - i + 1);
+      *tie_term += t * t * t - t;
+    }
     i = j + 1;
   }
   return ranks;
+}
+
+}  // namespace
+
+std::vector<double> midranks(std::span<const double> values) {
+  return midranks_by(values, [](double v) { return std::abs(v); }, nullptr);
+}
+
+std::vector<double> midranks_signed(std::span<const double> values,
+                                    double& tie_term) {
+  tie_term = 0.0;
+  return midranks_by(values, [](double v) { return v; }, &tie_term);
 }
 
 namespace {

@@ -42,6 +42,13 @@ std::optional<WilcoxonResult> wilcoxon_signed_rank(
 /// Midranks of |values|: ties share the average of the ranks they occupy.
 std::vector<double> midranks(std::span<const double> values);
 
+/// Midranks of signed values (ties share averages as above), additionally
+/// accumulating the pooled tie term sum(t^3 - t) over tie groups — the
+/// quantity tie-corrected rank-test variances need. Used by the unpaired
+/// rank-sum test in fleet_stats.
+std::vector<double> midranks_signed(std::span<const double> values,
+                                    double& tie_term);
+
 /// Holm-Bonferroni step-down procedure. Given raw p-values, returns for
 /// each whether it is rejected at family-wise level `alpha`, plus the
 /// adjusted p-values.

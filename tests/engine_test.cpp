@@ -113,6 +113,62 @@ TEST(SampleFleet, DeterministicPerSeedAndIndex) {
   EXPECT_GT(diff, 16);
 }
 
+TEST(SampleFleet, DetailedSamplerDrawsTheSameStream) {
+  // sample_fleet_detailed() must reproduce sample_fleet()'s configs
+  // exactly (same RNG draws) while adding the stratum labels.
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 64;
+  cfg.days = 30;
+  cfg.seed = 11;
+
+  auto plain = sample_fleet(cfg, catalog);
+  auto detailed = sample_fleet_detailed(cfg, catalog);
+  ASSERT_EQ(detailed.configs.size(), plain.size());
+  ASSERT_EQ(detailed.traits.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(detailed.configs[i].seed, plain[i].seed);
+    EXPECT_DOUBLE_EQ(detailed.configs[i].activity_scale,
+                     plain[i].activity_scale);
+    EXPECT_DOUBLE_EQ(detailed.configs[i].device_v6_ok_frac,
+                     plain[i].device_v6_ok_frac);
+    EXPECT_DOUBLE_EQ(detailed.configs[i].visibility, plain[i].visibility);
+    EXPECT_EQ(detailed.configs[i].away_day_ranges, plain[i].away_day_ranges);
+
+    // Labels consistent with the config they describe.
+    const auto& t = detailed.traits[i];
+    if (!t.dual_stack_isp) {
+      EXPECT_DOUBLE_EQ(detailed.configs[i].device_v6_ok_frac, 0.0);
+    }
+    if (t.broken_v6) {
+      EXPECT_TRUE(t.dual_stack_isp);
+    }
+    if (t.vacant) {
+      EXPECT_DOUBLE_EQ(detailed.configs[i].activity_scale, 0.0);
+    }
+    EXPECT_EQ(t.opt_out, detailed.configs[i].visibility < 1.0);
+    EXPECT_EQ(t.scripted_absence,
+              !detailed.configs[i].away_day_ranges.empty());
+  }
+}
+
+TEST(FleetEngine, RunCarriesTraitsThrough) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 6;
+  cfg.days = 1;
+  auto sampled = sample_fleet_detailed(cfg, catalog);
+
+  FleetEngine engine(catalog, 2);
+  auto from_sampled = engine.run(sampled);
+  EXPECT_EQ(from_sampled.traits, sampled.traits);
+  auto from_cfg = engine.run(cfg);
+  EXPECT_EQ(from_cfg.traits, sampled.traits);
+  // Raw config vectors carry no strata.
+  auto from_raw = engine.run(sampled.configs);
+  EXPECT_TRUE(from_raw.traits.empty());
+}
+
 TEST(SampleFleet, PopulationMixKnobsShapeThePopulation) {
   auto catalog = traffic::build_paper_catalog();
   FleetConfig cfg;
