@@ -13,6 +13,7 @@
 // residence comparisons at fleet scale.
 //
 //   ./build/example_fleet_scenario [scenario.cfg]
+#include <algorithm>
 #include <cstdio>
 
 #include "core/client_analysis.h"
@@ -37,17 +38,27 @@ int main(int argc, char** argv) {
 
   auto catalog = traffic::build_paper_catalog();
   auto sampled = engine::sample_fleet_detailed(cfg, catalog);
+  engine::apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days);
   engine::FleetEngine fleet(catalog, cfg.threads);
   std::printf("fleet: %d residences x %d days on %d lane(s)\n",
               cfg.residences, cfg.days, fleet.lanes());
+  if (!cfg.timeline.empty()) {
+    std::printf("timeline:");
+    for (const auto& ev : cfg.timeline.events)
+      std::printf(" %s[%d..%d]", engine::to_string(ev.kind), ev.start_day,
+                  std::min(ev.end_day, cfg.days - 1));
+    std::printf("\n");
+  }
 
   auto result = fleet.run(sampled);
   std::printf("simulated %llu sessions, %llu flows (%llu invisible, %llu HE "
-              "failures)\n",
+              "failures, %llu lost to outages)\n",
               static_cast<unsigned long long>(result.totals.sessions),
               static_cast<unsigned long long>(result.totals.flows),
               static_cast<unsigned long long>(result.totals.skipped_invisible),
-              static_cast<unsigned long long>(result.totals.he_failures));
+              static_cast<unsigned long long>(result.totals.he_failures),
+              static_cast<unsigned long long>(
+                  result.totals.outage_suppressed));
 
   // Fleet-level Table-1 rows + population spread from the merged monitor:
   // the core analyses run unchanged on the reduced view.
@@ -97,5 +108,19 @@ int main(int argc, char** argv) {
   }
   std::printf("\n-- paired metric panel over active homes --\n");
   core::write_panel_tsv(stdout, stats_report.paired);
+
+  // With a timeline, compare the horizon's two halves per residence: the
+  // before/after view of whatever the scenario scheduled (rollout waves,
+  // fixes, migrations) with the paired signed-rank machinery.
+  if (!cfg.timeline.empty() && cfg.days >= 2) {
+    core::DayWindow pre{0, cfg.days / 2 - 1};
+    core::DayWindow post{cfg.days / 2, cfg.days - 1};
+    auto metrics = core::default_fleet_metrics();
+    auto windows = core::compare_windows(result, metrics, pre, post,
+                                         core::FleetGroup::all, fleet.pool());
+    std::printf("\n-- days %d-%d vs days %d-%d (paired, Holm alpha=0.05) --\n",
+                pre.first, pre.last, post.first, post.last);
+    core::write_panel_tsv(stdout, windows);
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
 
 #include "stats/wilcoxon.h"
@@ -43,6 +44,57 @@ double metric_value(const engine::ResidenceRun& run, FleetMetric m) {
                  ? kNan
                  : static_cast<double>(run.stats.he_failures) /
                        static_cast<double>(run.stats.sessions);
+  }
+  return kNan;
+}
+
+/// `metric_value` restricted to flows starting inside `window`, recomputed
+/// from the monitor's per-day aggregates (the only day-resolved state the
+/// shards keep). Mirrors metric_value's undefined-value conventions.
+double metric_value_window(const engine::ResidenceRun& run, FleetMetric m,
+                           const DayWindow& window) {
+  const auto& mon = run.monitor;
+  auto windowed = [&window](const std::map<int, flowmon::FamilySplit>& daily) {
+    flowmon::FamilySplit sum;
+    for (const auto& [day, split] : daily)
+      if (window.contains(day)) sum += split;
+    return sum;
+  };
+  switch (m) {
+    case FleetMetric::v6_byte_fraction: {
+      double f = windowed(mon.daily(flowmon::Scope::external)).v6_byte_fraction();
+      return f < 0 ? kNan : f;
+    }
+    case FleetMetric::v6_flow_fraction: {
+      double f = windowed(mon.daily(flowmon::Scope::external)).v6_flow_fraction();
+      return f < 0 ? kNan : f;
+    }
+    case FleetMetric::daily_v6_byte_fraction: {
+      double sum = 0;
+      size_t n = 0;
+      for (const auto& [day, split] : mon.daily(flowmon::Scope::external)) {
+        if (!window.contains(day)) continue;
+        double f = split.v6_byte_fraction();
+        if (f < 0) continue;  // empty day
+        sum += f;
+        ++n;
+      }
+      return n == 0 ? kNan : sum / static_cast<double>(n);
+    }
+    case FleetMetric::external_gb:
+      return static_cast<double>(
+                 windowed(mon.daily(flowmon::Scope::external)).total_bytes()) /
+             1e9;
+    case FleetMetric::external_flows_k:
+      return static_cast<double>(
+                 windowed(mon.daily(flowmon::Scope::external)).total_flows()) /
+             1e3;
+    case FleetMetric::internal_gb:
+      return static_cast<double>(
+                 windowed(mon.daily(flowmon::Scope::internal)).total_bytes()) /
+             1e9;
+    case FleetMetric::he_failure_rate:
+      return kNan;  // SimulationStats is not day-resolved
   }
   return kNan;
 }
@@ -120,6 +172,70 @@ FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
   } else {
     for (std::size_t i = 0; i < result.residences.size(); ++i) extract_one(i);
   }
+  return out;
+}
+
+FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
+                                  std::span<const FleetMetric> metrics,
+                                  DayWindow window,
+                                  engine::ThreadPool* pool) {
+  FleetMetricMatrix out;
+  out.metrics.assign(metrics.begin(), metrics.end());
+  out.values.assign(metrics.size(),
+                    std::vector<double>(result.residences.size(), kNan));
+  // Same index-addressed fan-out as the unwindowed extraction: any lane
+  // count is bit-identical.
+  auto extract_one = [&](std::size_t i) {
+    for (size_t m = 0; m < out.metrics.size(); ++m)
+      out.values[m][i] =
+          metric_value_window(result.residences[i], out.metrics[m], window);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(result.residences.size(), extract_one);
+  } else {
+    for (std::size_t i = 0; i < result.residences.size(); ++i) extract_one(i);
+  }
+  return out;
+}
+
+GroupComparison compare_windows(const engine::FleetResult& result,
+                                std::span<const FleetMetric> metrics,
+                                DayWindow pre, DayWindow post,
+                                FleetGroup group, engine::ThreadPool* pool,
+                                double alpha) {
+  if (result.traits.size() != result.residences.size())
+    throw std::invalid_argument(
+        "compare_windows: result carries no index-aligned traits "
+        "(run the engine via a FleetConfig or SampledFleet)");
+  GroupComparison out{group, group, {}};
+  auto members = group_members(result.traits, group);
+  auto m_pre = extract_metrics(result, metrics, pre, pool);
+  auto m_post = extract_metrics(result, metrics, post, pool);
+
+  for (size_t m = 0; m < metrics.size(); ++m) {
+    // Residences of the group where the metric is defined in both windows.
+    std::vector<double> xs, ys;
+    for (size_t i : members) {
+      double a = m_pre.values[m][i];
+      double b = m_post.values[m][i];
+      if (std::isnan(a) || std::isnan(b)) continue;
+      xs.push_back(a);
+      ys.push_back(b);
+    }
+    auto test = stats::wilcoxon_signed_rank(xs, ys);
+    if (!test) continue;  // no residence defined in both windows
+    stats::PanelRow row;
+    row.metric = to_string(metrics[m]);
+    row.paired = true;
+    row.n_a = row.n_b = test->n;
+    row.median_a = stats::median(xs);
+    row.median_b = stats::median(ys);
+    row.z = test->z;
+    row.effect_r = test->effect_size_r;
+    row.p_raw = test->p_value;
+    out.rows.push_back(std::move(row));
+  }
+  stats::holm_adjust(out.rows, alpha);
   return out;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdio>
+#include <limits>
 #include <span>
 #include <string>
 #include <utility>
@@ -61,6 +62,29 @@ struct FleetMetricMatrix {
 /// index-addressed slot, so results are bit-identical for any lane count.
 FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
                                   std::span<const FleetMetric> metrics,
+                                  engine::ThreadPool* pool = nullptr);
+
+// ------------------------------------------------------------ day windows
+
+/// Inclusive simulated-day range. The scenario timeline changes conditions
+/// mid-observation; windows let every analysis compare the days before an
+/// event against the days after it. Defaults cover the whole horizon.
+struct DayWindow {
+  int first = 0;
+  int last = std::numeric_limits<int>::max();
+
+  [[nodiscard]] bool contains(int day) const {
+    return day >= first && day <= last;
+  }
+  friend bool operator==(const DayWindow&, const DayWindow&) = default;
+};
+
+/// extract_metrics() restricted to flows that started inside `window`,
+/// computed from each shard monitor's per-day aggregates. he_failure_rate
+/// is not day-resolved and extracts as NaN (undefined) in any window.
+FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
+                                  std::span<const FleetMetric> metrics,
+                                  DayWindow window,
                                   engine::ThreadPool* pool = nullptr);
 
 // ----------------------------------------------------------- group specs
@@ -114,6 +138,20 @@ GroupComparison compare_metrics_paired(
     std::span<const engine::ResidenceTraits> traits, FleetGroup group,
     std::span<const std::pair<FleetMetric, FleetMetric>> metric_pairs,
     double alpha = 0.05);
+
+/// Pre/post-event panel: every metric tested `pre` vs `post` with the
+/// paired signed-rank test across the residences of `group` where the
+/// metric is defined in both windows, Holm-corrected across metrics.
+/// group_a == group_b == `group` in the result; rows keep the plain metric
+/// name (the window pair is the caller's context). Requires index-aligned
+/// traits on the result (throws std::invalid_argument otherwise) and is
+/// deterministic for any `pool` lane count.
+GroupComparison compare_windows(const engine::FleetResult& result,
+                                std::span<const FleetMetric> metrics,
+                                DayWindow pre, DayWindow post,
+                                FleetGroup group = FleetGroup::all,
+                                engine::ThreadPool* pool = nullptr,
+                                double alpha = 0.05);
 
 /// One metric's population distribution: streaming CDF (bin-resolution
 /// quantiles, mergeable) next to the exact box plot and summary.

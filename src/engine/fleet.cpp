@@ -1,11 +1,11 @@
 #include "engine/fleet.h"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "engine/flat_conntrack.h"
@@ -13,39 +13,18 @@
 
 namespace nbv6::engine {
 
-namespace {
-
-// Trim ASCII whitespace from both ends.
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
-    s.remove_suffix(1);
-  return s;
-}
-
-bool parse_double(std::string_view v, double& out) {
-  // std::from_chars<double> is not universally available; strtod on a
-  // bounded copy is fine for config-file volumes.
-  std::string tmp(v);
-  char* end = nullptr;
-  out = std::strtod(tmp.c_str(), &end);
-  return end == tmp.c_str() + tmp.size() && !tmp.empty();
-}
-
-bool parse_int(std::string_view v, int& out) {
-  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-  return ec == std::errc{} && p == v.data() + v.size();
-}
-
-bool parse_u64(std::string_view v, std::uint64_t& out) {
-  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-  return ec == std::errc{} && p == v.data() + v.size();
-}
-
-}  // namespace
-
 std::optional<FleetConfig> FleetConfig::parse(std::string_view text) {
+  using cfgparse::parse_double;
+  using cfgparse::parse_int;
+  using cfgparse::parse_u64;
+  using cfgparse::trim;
+
   FleetConfig cfg;
+  // Scalar keys may appear at most once: a config that sets the same knob
+  // twice is almost certainly a copy-paste error, and silently letting the
+  // last line win would make two scenario files that look different run
+  // identically (or vice versa).
+  std::set<std::string, std::less<>> seen;
   size_t pos = 0;
   while (pos <= text.size()) {
     size_t eol = text.find('\n', pos);
@@ -63,23 +42,45 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text) {
     std::string_view key = trim(line.substr(0, eq));
     std::string_view val = trim(line.substr(eq + 1));
 
+    // Timeline events: repeatable by design (each line appends one event),
+    // so they bypass the duplicate-key check.
+    if (key.starts_with("timeline.")) {
+      auto ev = Timeline::parse_event(key.substr(9), val);
+      if (!ev) return std::nullopt;
+      cfg.timeline.events.push_back(*ev);
+      continue;
+    }
+
+    if (!seen.insert(std::string(key)).second) return std::nullopt;
+
+    // Fractions are per-residence probabilities: outside [0, 1] they are
+    // not "clamped intent", they are bugs. parse_double already rejects
+    // NaN and infinities for every double-valued key.
+    auto frac = [&val](double& out) {
+      return parse_double(val, out) && out >= 0.0 && out <= 1.0;
+    };
     bool ok;
     if (key == "residences") ok = parse_int(val, cfg.residences);
     else if (key == "days") ok = parse_int(val, cfg.days);
     else if (key == "threads") ok = parse_int(val, cfg.threads);
     else if (key == "seed") ok = parse_u64(val, cfg.seed);
-    else if (key == "dual_stack_isp_frac") ok = parse_double(val, cfg.dual_stack_isp_frac);
-    else if (key == "broken_v6_frac") ok = parse_double(val, cfg.broken_v6_frac);
-    else if (key == "heavy_streamer_frac") ok = parse_double(val, cfg.heavy_streamer_frac);
-    else if (key == "background_only_frac") ok = parse_double(val, cfg.background_only_frac);
-    else if (key == "opt_out_frac") ok = parse_double(val, cfg.opt_out_frac);
-    else if (key == "absence_prob") ok = parse_double(val, cfg.absence_prob);
-    else if (key == "activity_scale_min") ok = parse_double(val, cfg.activity_scale_min);
-    else if (key == "activity_scale_max") ok = parse_double(val, cfg.activity_scale_max);
+    else if (key == "dual_stack_isp_frac") ok = frac(cfg.dual_stack_isp_frac);
+    else if (key == "broken_v6_frac") ok = frac(cfg.broken_v6_frac);
+    else if (key == "heavy_streamer_frac") ok = frac(cfg.heavy_streamer_frac);
+    else if (key == "background_only_frac") ok = frac(cfg.background_only_frac);
+    else if (key == "opt_out_frac") ok = frac(cfg.opt_out_frac);
+    else if (key == "absence_prob") ok = frac(cfg.absence_prob);
+    else if (key == "activity_scale_min")
+      ok = parse_double(val, cfg.activity_scale_min) &&
+           cfg.activity_scale_min >= 0.0;
+    else if (key == "activity_scale_max")
+      ok = parse_double(val, cfg.activity_scale_max) &&
+           cfg.activity_scale_max >= 0.0;
     else return std::nullopt;  // unknown key: fail loudly, not silently
     if (!ok) return std::nullopt;
   }
   if (cfg.residences < 1 || cfg.days < 1) return std::nullopt;
+  if (cfg.activity_scale_min > cfg.activity_scale_max) return std::nullopt;
   return cfg;
 }
 
@@ -211,6 +212,7 @@ FleetResult FleetEngine::run(
     out.totals.flows += run.stats.flows;
     out.totals.skipped_invisible += run.stats.skipped_invisible;
     out.totals.he_failures += run.stats.he_failures;
+    out.totals.outage_suppressed += run.stats.outage_suppressed;
   }
   return out;
 }
@@ -228,7 +230,9 @@ FleetResult FleetEngine::run(const SampledFleet& fleet) {
 }
 
 FleetResult FleetEngine::run(const FleetConfig& cfg) {
-  return run(sample_fleet_detailed(cfg, *catalog_));
+  SampledFleet sampled = sample_fleet_detailed(cfg, *catalog_);
+  apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days);
+  return run(sampled);
 }
 
 }  // namespace nbv6::engine

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "engine/timeline.h"
 #include "flowmon/monitor.h"
 #include "traffic/generator.h"
 #include "traffic/residence.h"
@@ -63,8 +64,20 @@ struct FleetConfig {
   double activity_scale_min = 1.0;
   double activity_scale_max = 9.5;
 
-  /// Parse "key = value" lines ('#' starts a comment). Unknown keys or
-  /// malformed values fail the whole parse. Keys are the field names above.
+  // ---- timeline --------------------------------------------------------
+  /// Scheduled mid-observation changes (rollout waves, CPE fixes, outages,
+  /// NAT64 migrations, seasonal scaling). Built from repeatable
+  /// "timeline.<kind> = ..." config lines; see engine/timeline.h.
+  /// Applied by FleetEngine::run(FleetConfig) — or explicitly via
+  /// apply_timeline() when sampling by hand.
+  Timeline timeline;
+
+  /// Parse "key = value" lines ('#' starts a comment). The parse fails on:
+  /// unknown keys, malformed or non-finite numbers, fractions outside
+  /// [0, 1], activity_scale_min/max that are negative or inverted, and any
+  /// scalar key given twice. "timeline.<kind>" keys are the one exception
+  /// to the duplicate rule: each occurrence appends one event, in file
+  /// order (ordering is part of the deterministic derivation).
   static std::optional<FleetConfig> parse(std::string_view text);
   /// Load from a file via parse(). nullopt if unreadable or invalid.
   static std::optional<FleetConfig> load(const std::string& path);
@@ -137,7 +150,8 @@ class FleetEngine {
   /// run(fleet.configs) carrying the stratum labels into the result.
   FleetResult run(const SampledFleet& fleet);
 
-  /// sample_fleet_detailed() + run() in one step.
+  /// sample_fleet_detailed() + apply_timeline() + run() in one step: the
+  /// full scenario pipeline, timeline included.
   FleetResult run(const FleetConfig& cfg);
 
   /// Total worker lanes (pool workers + the calling thread).

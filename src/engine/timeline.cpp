@@ -1,0 +1,298 @@
+#include "engine/timeline.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/fleet.h"
+#include "stats/rng.h"
+
+namespace nbv6::engine {
+
+namespace cfgparse {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool parse_double(std::string_view v, double& out) {
+  // std::from_chars<double> is not universally available; strtod on a
+  // bounded copy is fine for config-file volumes.
+  std::string tmp(v);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size() && !tmp.empty() &&
+         std::isfinite(out);
+}
+
+bool parse_int(std::string_view v, int& out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+}  // namespace cfgparse
+
+const char* to_string(TimelineEventKind k) {
+  switch (k) {
+    case TimelineEventKind::rollout_wave: return "rollout_wave";
+    case TimelineEventKind::cpe_fix: return "cpe_fix";
+    case TimelineEventKind::outage: return "outage";
+    case TimelineEventKind::nat64_migration: return "nat64_migration";
+    case TimelineEventKind::seasonal: return "seasonal";
+  }
+  return "?";
+}
+
+std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
+                                                   std::string_view spec) {
+  TimelineEvent ev;
+  if (kind == "rollout_wave") ev.kind = TimelineEventKind::rollout_wave;
+  else if (kind == "cpe_fix") ev.kind = TimelineEventKind::cpe_fix;
+  else if (kind == "outage") ev.kind = TimelineEventKind::outage;
+  else if (kind == "nat64_migration") ev.kind = TimelineEventKind::nat64_migration;
+  else if (kind == "seasonal") ev.kind = TimelineEventKind::seasonal;
+  else return std::nullopt;
+
+  const bool is_seasonal = ev.kind == TimelineEventKind::seasonal;
+  const bool is_outage = ev.kind == TimelineEventKind::outage;
+  bool have_end = false;
+
+  // Whitespace-separated k=v tokens; every key at most once.
+  bool seen_day = false, seen_start = false, seen_end = false,
+       seen_frac = false, seen_amp = false, seen_period = false,
+       seen_len = false;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    while (pos < spec.size() &&
+           (spec[pos] == ' ' || spec[pos] == '\t'))
+      ++pos;
+    if (pos >= spec.size()) break;
+    size_t end = pos;
+    while (end < spec.size() && spec[end] != ' ' && spec[end] != '\t') ++end;
+    std::string_view tok = spec.substr(pos, end - pos);
+    pos = end;
+
+    size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    std::string_view key = tok.substr(0, eq);
+    std::string_view val = tok.substr(eq + 1);
+
+    if (key == "day") {
+      if (seen_day || seen_start || seen_end) return std::nullopt;
+      seen_day = true;
+      int d = 0;
+      if (!cfgparse::parse_int(val, d) || d < 0) return std::nullopt;
+      ev.start_day = ev.end_day = d;
+      have_end = true;
+    } else if (key == "start") {
+      if (seen_day || seen_start) return std::nullopt;
+      seen_start = true;
+      if (!cfgparse::parse_int(val, ev.start_day) || ev.start_day < 0)
+        return std::nullopt;
+    } else if (key == "end") {
+      if (seen_day || seen_end) return std::nullopt;
+      seen_end = true;
+      if (!cfgparse::parse_int(val, ev.end_day) || ev.end_day < 0)
+        return std::nullopt;
+      have_end = true;
+    } else if (key == "frac") {
+      if (seen_frac) return std::nullopt;
+      seen_frac = true;
+      if (!cfgparse::parse_double(val, ev.fraction) || ev.fraction < 0.0 ||
+          ev.fraction > 1.0)
+        return std::nullopt;
+    } else if (key == "amp") {
+      if (seen_amp || !is_seasonal) return std::nullopt;
+      seen_amp = true;
+      if (!cfgparse::parse_double(val, ev.amplitude) || ev.amplitude < 0.0 ||
+          ev.amplitude > 1.0)
+        return std::nullopt;
+    } else if (key == "period") {
+      if (seen_period || !is_seasonal) return std::nullopt;
+      seen_period = true;
+      if (!cfgparse::parse_int(val, ev.period_days) || ev.period_days < 1)
+        return std::nullopt;
+    } else if (key == "len") {
+      if (seen_len || !is_outage) return std::nullopt;
+      seen_len = true;
+      if (!cfgparse::parse_int(val, ev.duration_days) || ev.duration_days < 1)
+        return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  // A window event with no end runs to the horizon.
+  if (!have_end) ev.end_day = std::numeric_limits<int>::max();
+  if (ev.end_day < ev.start_day) return std::nullopt;
+  return ev;
+}
+
+namespace {
+
+/// Per-(event, residence) decision stream: whether the residence is
+/// affected and on which day inside the window its change lands. The
+/// derivation folds (seed, event ordinal, index) through splitmix64 — the
+/// same pattern sample_fleet_detailed uses per residence — so the result
+/// is independent of evaluation order and population size.
+struct EventDraw {
+  bool affected = false;
+  int day = 0;  ///< flip/fix/migration/outage-start day inside the window
+};
+
+EventDraw draw_event(const TimelineEvent& ev, int window_end,
+                     std::uint64_t seed, size_t ordinal, int index) {
+  std::uint64_t state =
+      seed ^ (0xD1B54A32D192ED03ull * (static_cast<std::uint64_t>(ordinal) + 1))
+           ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1));
+  auto u01 = [&state] {
+    return static_cast<double>(stats::splitmix64(state) >> 11) * 0x1.0p-53;
+  };
+  EventDraw d;
+  d.affected = u01() < ev.fraction;
+  // The day draw is consumed unconditionally so changing `frac` in a spec
+  // never shifts another residence's schedule.
+  double u = u01();
+  long long width = static_cast<long long>(window_end) - ev.start_day + 1;
+  d.day = ev.start_day + static_cast<int>(u * static_cast<double>(width));
+  if (d.day > window_end) d.day = window_end;
+  return d;
+}
+
+constexpr double kTau = 6.28318530717958647692;
+
+/// One residence's draws for every event, hoisted out of the day loop:
+/// draw_event depends only on (seed, ordinal, index), never on the day.
+std::vector<EventDraw> draw_all_events(const Timeline& tl, std::uint64_t seed,
+                                       int index, int days) {
+  std::vector<EventDraw> draws;
+  draws.reserve(tl.events.size());
+  for (size_t e = 0; e < tl.events.size(); ++e) {
+    const TimelineEvent& ev = tl.events[e];
+    // Clamp the window to the horizon (events whose whole window lies past
+    // the horizon keep a one-day window there and simply never fire).
+    const int window_end =
+        std::max(ev.start_day, std::min(ev.end_day, days - 1));
+    draws.push_back(draw_event(ev, window_end, seed, e, index));
+  }
+  return draws;
+}
+
+TimelineDayState day_state_from_draws(const Timeline& tl,
+                                      std::span<const EventDraw> draws,
+                                      int day, int days,
+                                      const ResidenceTraits& base) {
+  TimelineDayState s;
+  s.isp_v6 = base.dual_stack_isp;
+  s.cpe_broken = base.dual_stack_isp && base.broken_v6;
+
+  for (size_t e = 0; e < tl.events.size(); ++e) {
+    const TimelineEvent& ev = tl.events[e];
+    const EventDraw& d = draws[e];
+    if (!d.affected) continue;
+    switch (ev.kind) {
+      case TimelineEventKind::rollout_wave:
+        if (!base.dual_stack_isp && day >= d.day) s.isp_v6 = true;
+        break;
+      case TimelineEventKind::cpe_fix:
+        if (day >= d.day) s.cpe_broken = false;
+        break;
+      case TimelineEventKind::outage:
+        if (ev.duration_days > 0) {
+          // 64-bit bound: start + len near INT_MAX is parser-legal.
+          if (day >= d.day &&
+              day < static_cast<long long>(d.day) + ev.duration_days)
+            s.outage = true;
+        } else if (day >= ev.start_day &&
+                   day <= std::max(ev.start_day,
+                                   std::min(ev.end_day, days - 1))) {
+          s.outage = true;
+        }
+        break;
+      case TimelineEventKind::nat64_migration:
+        if (day >= d.day) {
+          s.nat64 = true;
+          s.isp_v6 = true;  // the v6-only access network delegates v6
+        }
+        break;
+      case TimelineEventKind::seasonal:
+        if (day >= ev.start_day && day <= ev.end_day) {
+          int period = ev.period_days > 0 ? ev.period_days : 364;
+          s.activity_mult *=
+              1.0 + ev.amplitude *
+                        std::sin(kTau * static_cast<double>(day - ev.start_day) /
+                                 static_cast<double>(period));
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+TimelineDayState timeline_day_state(const Timeline& tl, std::uint64_t seed,
+                                    int index, int day, int days,
+                                    const ResidenceTraits& base) {
+  return day_state_from_draws(tl, draw_all_events(tl, seed, index, days), day,
+                              days, base);
+}
+
+void apply_timeline(SampledFleet& fleet, const Timeline& tl,
+                    std::uint64_t seed, int days) {
+  if (tl.empty()) {
+    for (auto& cfg : fleet.configs) cfg.day_plan.clear();
+    return;
+  }
+  for (size_t i = 0; i < fleet.configs.size(); ++i) {
+    traffic::ResidenceConfig& cfg = fleet.configs[i];
+    const ResidenceTraits& base = fleet.traits[i];
+    cfg.day_plan.assign(static_cast<size_t>(std::max(days, 0)),
+                        traffic::DayPlan{});
+    // The per-(event, residence) draws are day-invariant: derive them once
+    // per residence, not once per (residence, day).
+    const auto draws = draw_all_events(tl, seed, static_cast<int>(i), days);
+    for (int day = 0; day < days; ++day) {
+      const TimelineDayState s =
+          day_state_from_draws(tl, draws, day, days, base);
+      traffic::DayPlan& p = cfg.day_plan[static_cast<size_t>(day)];
+      p.activity_mult = s.activity_mult;
+      p.outage = s.outage;
+      p.nat64 = s.nat64;
+      // Effective device/internal IPv6 for the day. Negative values mean
+      // "keep the sampled static config"; only genuine state changes are
+      // materialized so a no-op event leaves the plan at defaults.
+      if (s.nat64 && !base.dual_stack_isp) {
+        // A formerly v4-only home behind the new v6-only access network:
+        // devices overwhelmingly speak v6 once a prefix finally exists.
+        p.device_v6_ok_frac = 0.95;
+        p.internal_v6_frac = std::max(cfg.internal_v6_frac, 0.75);
+      } else if (base.dual_stack_isp) {
+        if (base.broken_v6 && !s.cpe_broken)
+          p.device_v6_ok_frac = 1.0;  // firmware fix landed
+      } else if (s.isp_v6) {
+        // Rollout wave flipped a v4-only home on: working device IPv6 and
+        // a LAN that starts using it.
+        p.device_v6_ok_frac = 1.0;
+        p.internal_v6_frac = std::max(cfg.internal_v6_frac, 0.75);
+      }
+    }
+  }
+}
+
+}  // namespace nbv6::engine

@@ -1,0 +1,148 @@
+// Scenario timelines: conditions that change mid-observation.
+//
+// The paper's longitudinal claims come from months of telemetry in which
+// the world does not hold still — devices gain IPv6 when the ISP finally
+// delegates a prefix, broken CPE gets a firmware fix, connectivity dies
+// for days at a time, access networks migrate behind NAT64/CGN, and
+// activity breathes with the seasons. The static FleetConfig scenario
+// layer samples one ResidenceConfig per home and keeps it for the whole
+// horizon; this module adds the time axis.
+//
+// A Timeline is an ordered list of typed events parsed from the same
+// key=value scenario files ("timeline.<kind> = k=v k=v ..." lines, one
+// per event, repeatable). Every per-residence decision an event makes —
+// whether a home is affected, on which day its flip/fix/migration lands —
+// is a pure function of (scenario seed, event ordinal, residence index),
+// and the resulting day state is a pure function of (seed, index, day).
+// Nothing depends on sampling order, population size beyond the index, or
+// engine thread count, so a timeline replay is bit-identical for any lane
+// count — the invariant the golden-replay suite pins.
+//
+// apply_timeline() materializes the day states into per-day DayPlan
+// entries on each sampled ResidenceConfig; the traffic generator consults
+// the plan at the start of every simulated day.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace nbv6::engine {
+
+struct FleetConfig;
+struct ResidenceTraits;
+struct SampledFleet;
+
+/// What a timeline event does to the residences it selects.
+enum class TimelineEventKind {
+  /// ISP rollout wave: a share of v4-only homes gains delegated IPv6, each
+  /// on its own uniformly-drawn day inside [start_day, end_day].
+  rollout_wave,
+  /// CPE firmware fix: a share of broken-IPv6 homes is repaired, each on
+  /// its own day inside the window; device IPv6 works from then on.
+  cpe_fix,
+  /// Multi-day connectivity outage. With duration_days == 0 every affected
+  /// home is dark for the whole window (a storm/backhaul incident); with
+  /// duration_days > 0 each affected home gets its own outage of that
+  /// length starting on a uniformly-drawn day inside the window (CPE
+  /// breaks, then gets fixed). Internal LAN traffic continues.
+  outage,
+  /// NAT64/CGN migration: a share of homes moves to a v6-only access
+  /// network on its own day inside the window and stays there. IPv4-only
+  /// destinations are reached through RFC 6146 translation (64:ff9b::/96),
+  /// so WAN-side traffic is all-IPv6; devices with broken IPv6 lose
+  /// connectivity for the duration.
+  nat64_migration,
+  /// Seasonal activity scaling: affected homes' interactive activity is
+  /// multiplied by 1 + amplitude * sin(2*pi*(day - start_day)/period_days)
+  /// inside the window. Multiple seasonal events compose multiplicatively.
+  seasonal,
+};
+
+const char* to_string(TimelineEventKind k);
+
+/// One scheduled change. Only the fields a kind documents are read; the
+/// parser rejects specs that set fields their kind cannot use.
+struct TimelineEvent {
+  TimelineEventKind kind = TimelineEventKind::rollout_wave;
+  /// Inclusive day window the event acts inside.
+  int start_day = 0;
+  int end_day = 0;
+  /// Share of eligible residences the event touches, in [0, 1].
+  double fraction = 1.0;
+  /// seasonal only: relative swing in [0, 1].
+  double amplitude = 0.3;
+  /// seasonal only: full sine period in days; 0 selects 364 (annual).
+  int period_days = 0;
+  /// outage only: per-residence outage length; 0 = whole window for all.
+  int duration_days = 0;
+
+  friend bool operator==(const TimelineEvent&, const TimelineEvent&) = default;
+};
+
+/// An ordered event list. Event ordinals (positions in `events`) are part
+/// of the deterministic derivation, so edits that reorder events change
+/// the replay — append new events to keep existing goldens stable.
+struct Timeline {
+  std::vector<TimelineEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Parse one event spec: `kind` is the text after "timeline." in the
+  /// config key ("rollout_wave", "cpe_fix", "outage", "nat64_migration",
+  /// "seasonal"); `spec` is the value — whitespace-separated k=v pairs
+  /// over keys {day, start, end, frac, amp, period, len}. `day=N` is
+  /// shorthand for `start=N end=N`. Unknown keys, values outside their
+  /// documented ranges, NaN/inf, and end < start all fail the parse.
+  static std::optional<TimelineEvent> parse_event(std::string_view kind,
+                                                  std::string_view spec);
+
+  friend bool operator==(const Timeline&, const Timeline&) = default;
+};
+
+/// The effective condition of residence `index` on `day` after every event
+/// is applied to its sampled base traits. Pure function of (seed, index,
+/// day, horizon, base) — see the file comment for why that purity matters.
+struct TimelineDayState {
+  bool isp_v6 = false;       ///< ISP delegates IPv6 this day
+  bool cpe_broken = false;   ///< device IPv6 still flaky this day
+  bool outage = false;       ///< external connectivity down this day
+  bool nat64 = false;        ///< behind a v6-only (NAT64) access network
+  double activity_mult = 1.0;  ///< seasonal interactive-activity multiplier
+
+  friend bool operator==(const TimelineDayState&,
+                         const TimelineDayState&) = default;
+};
+
+/// `days` is the scenario horizon: event windows are clamped to
+/// [start_day, days - 1] before the per-residence day draw, so "to the
+/// horizon" windows (no `end=` in the spec) stagger changes across the
+/// simulated period rather than an unbounded future.
+TimelineDayState timeline_day_state(const Timeline& tl, std::uint64_t seed,
+                                    int index, int day, int days,
+                                    const ResidenceTraits& base);
+
+/// Materialize per-day DayPlan entries onto every sampled config (a no-op
+/// for an empty timeline, leaving the static fast path untouched). `seed`
+/// and `days` are the scenario's master seed and horizon. Idempotent:
+/// plans are recomputed from scratch on every call.
+void apply_timeline(SampledFleet& fleet, const Timeline& tl,
+                    std::uint64_t seed, int days);
+
+// ------------------------------------------------ shared config parsing
+// Helpers shared by FleetConfig::parse and Timeline::parse_event so the
+// scalar and timeline sections of a scenario file agree on lexing rules.
+namespace cfgparse {
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+/// Strict full-string parses; reject trailing junk. parse_double also
+/// rejects NaN and infinities — no scenario knob has a non-finite meaning.
+bool parse_double(std::string_view v, double& out);
+bool parse_int(std::string_view v, int& out);
+bool parse_u64(std::string_view v, std::uint64_t& out);
+
+}  // namespace cfgparse
+
+}  // namespace nbv6::engine

@@ -46,17 +46,23 @@ double exact_rank_sum_two_sided_p(int n1, int n2, double u1) {
 
 std::optional<RankSumResult> wilcoxon_rank_sum(std::span<const double> xs,
                                                std::span<const double> ys) {
-  const size_t n1 = xs.size();
-  const size_t n2 = ys.size();
+  // Non-finite observations (the fleet layer's NaN undefined-metric
+  // sentinel, infs from degenerate ratios) have no defined rank; drop them
+  // so a raw metric column can stream in unfiltered, and report a defined
+  // no-result (nullopt) when either sample has nothing testable left.
+  std::vector<double> pooled;
+  pooled.reserve(xs.size() + ys.size());
+  for (double x : xs)
+    if (std::isfinite(x)) pooled.push_back(x);
+  const size_t n1 = pooled.size();
+  for (double y : ys)
+    if (std::isfinite(y)) pooled.push_back(y);
+  const size_t n2 = pooled.size() - n1;
   if (n1 == 0 || n2 == 0) return std::nullopt;
   const size_t n = n1 + n2;
 
   // Midranks of the pooled sample by signed value, with the tie structure
   // collected in the same pass. tie_term > 0 iff any tie group exists.
-  std::vector<double> pooled;
-  pooled.reserve(n);
-  pooled.insert(pooled.end(), xs.begin(), xs.end());
-  pooled.insert(pooled.end(), ys.begin(), ys.end());
   double tie_term = 0.0;
   auto ranks = midranks_signed(pooled, tie_term);
   const bool has_ties = tie_term > 0.0;

@@ -47,7 +47,11 @@ struct RankSumResult {
 };
 
 /// Unpaired two-sided Wilcoxon rank-sum (Mann-Whitney U) test of xs vs ys.
-/// Returns nullopt when either sample is empty.
+/// Non-finite observations (NaN undefined-metric sentinels, infs) are
+/// dropped before ranking; returns nullopt — a defined no-result, never
+/// NaN statistics — when either sample has no finite values left.
+/// Degenerate but testable inputs stay defined too: single observations
+/// take the exact path, and an all-tied pool reports p = 1, z = 0.
 std::optional<RankSumResult> wilcoxon_rank_sum(std::span<const double> xs,
                                                std::span<const double> ys);
 

@@ -82,11 +82,15 @@ double exact_two_sided_p(int n, double w_plus) {
 
 std::optional<WilcoxonResult> wilcoxon_signed_rank(
     std::span<const double> diffs) {
-  // Discard zeros.
+  // Discard zeros (Wilcoxon's treatment) and non-finite differences: NaN
+  // is the fleet layer's undefined-metric sentinel and would otherwise
+  // poison every midrank comparison, and an infinite difference has no
+  // defined rank either. Dropping them keeps degenerate inputs at a
+  // defined no-result (nullopt when nothing testable remains).
   std::vector<double> d;
   d.reserve(diffs.size());
   for (double x : diffs)
-    if (x != 0.0) d.push_back(x);
+    if (x != 0.0 && std::isfinite(x)) d.push_back(x);
   if (d.empty()) return std::nullopt;
 
   auto ranks = midranks(d);
@@ -155,7 +159,9 @@ std::optional<WilcoxonResult> wilcoxon_signed_rank(
 
 std::optional<WilcoxonResult> wilcoxon_signed_rank(std::span<const double> xs,
                                                    std::span<const double> ys) {
-  assert(xs.size() == ys.size());
+  // Mismatched lengths are a caller bug, but "no result" is a kinder
+  // failure mode than reading past the shorter span in Release builds.
+  if (xs.size() != ys.size()) return std::nullopt;
   std::vector<double> d(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) d[i] = xs[i] - ys[i];
   return wilcoxon_signed_rank(d);
@@ -168,10 +174,18 @@ HolmResult holm_bonferroni(std::span<const double> p_values, double alpha) {
   out.adjusted_p.assign(m, 1.0);
   if (m == 0) return out;
 
+  // NaN p-values (a degenerate test upstream) sort as "no evidence": they
+  // compare as 1.0 so the ordering stays a strict weak order and a NaN can
+  // never be rejected, rather than letting NaN comparisons scramble the
+  // step-down sequence.
+  std::vector<double> ps(p_values.begin(), p_values.end());
+  for (double& p : ps)
+    if (std::isnan(p)) p = 1.0;
+
   std::vector<size_t> order(m);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+            [&](size_t a, size_t b) { return ps[a] < ps[b]; });
 
   // Step-down: reject while p_(k) <= alpha / (m - k); stop at first failure.
   bool stopped = false;
@@ -179,10 +193,10 @@ HolmResult holm_bonferroni(std::span<const double> p_values, double alpha) {
   for (size_t k = 0; k < m; ++k) {
     size_t idx = order[k];
     double factor = static_cast<double>(m - k);
-    double adj = std::min(1.0, p_values[idx] * factor);
+    double adj = std::min(1.0, ps[idx] * factor);
     running_max = std::max(running_max, adj);  // enforce monotonicity
     out.adjusted_p[idx] = running_max;
-    if (!stopped && p_values[idx] <= alpha / factor) {
+    if (!stopped && ps[idx] <= alpha / factor) {
       out.reject[idx] = true;
     } else {
       stopped = true;

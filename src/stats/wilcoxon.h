@@ -28,10 +28,11 @@ struct WilcoxonResult {
   double effect_size_r = 0;
 };
 
-/// Paired two-sided test on xs vs ys (must be equal length). Zero
-/// differences are discarded (Wilcoxon's original treatment, scipy
-/// zero_method="wilcox"). Returns nullopt when fewer than 1 non-zero
-/// difference remains.
+/// Paired two-sided test on xs vs ys. Zero differences are discarded
+/// (Wilcoxon's original treatment, scipy zero_method="wilcox"), as are
+/// non-finite ones (NaN undefined-metric sentinels have no rank). Returns
+/// nullopt — a defined no-result, never NaN statistics or UB — when the
+/// lengths differ or no testable difference remains.
 std::optional<WilcoxonResult> wilcoxon_signed_rank(std::span<const double> xs,
                                                    std::span<const double> ys);
 
@@ -51,7 +52,8 @@ std::vector<double> midranks_signed(std::span<const double> values,
 
 /// Holm-Bonferroni step-down procedure. Given raw p-values, returns for
 /// each whether it is rejected at family-wise level `alpha`, plus the
-/// adjusted p-values.
+/// adjusted p-values. NaN p-values are treated as 1.0 (no evidence): they
+/// are never rejected and cannot scramble the step-down ordering.
 struct HolmResult {
   std::vector<bool> reject;
   std::vector<double> adjusted_p;

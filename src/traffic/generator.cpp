@@ -55,6 +55,12 @@ bool ResidenceSimulator::is_away(int day) const {
   return false;
 }
 
+const DayPlan& ResidenceSimulator::plan(int day) const {
+  if (day >= 0 && static_cast<size_t>(day) < cfg_.day_plan.size())
+    return cfg_.day_plan[static_cast<size_t>(day)];
+  return kStaticDayPlan;
+}
+
 double ResidenceSimulator::presence(int day, int hour) const {
   if (is_away(day)) return 0.0;
   int weekday = (cfg_.start_weekday + day) % 7;  // 0 = Monday
@@ -158,7 +164,8 @@ ResidenceSimulator::FlowSpec ResidenceSimulator::sample_flow(
 
 template <typename Table>
 void ResidenceSimulator::run_session(Table& table, Timestamp t,
-                                     size_t service_idx, bool background) {
+                                     size_t service_idx, bool background,
+                                     const DayPlan& day) {
   // Opt-outs: some devices bypass the study router entirely.
   if (!rng_.chance(cfg_.visibility)) {
     ++stats_.skipped_invisible;
@@ -168,26 +175,56 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
 
   const Service& svc = catalog_->at(service_idx);
   int device = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
-  bool device_v6_ok = rng_.chance(cfg_.device_v6_ok_frac);
+  const double v6_ok_frac = day.device_v6_ok_frac >= 0.0
+                                ? day.device_v6_ok_frac
+                                : cfg_.device_v6_ok_frac;
+  bool device_v6_ok = rng_.chance(v6_ok_frac);
 
   int endpoint_idx = static_cast<int>(
       rng_.below(ServiceCatalog::kEndpointsPerService));
   Endpoint ep = catalog_->endpoint(service_idx, endpoint_idx);
 
-  // Background chatter skews IPv4: much of it is legacy firmware and
-  // update CDNs pinned to literal IPv4 endpoints (the paper's observation
-  // that unoccupied-house traffic is mostly IPv4).
-  bool force_v4 = background && rng_.chance(cfg_.background_v4_bias);
+  // Pick the WAN family the session rides.
+  bool via_v6;
+  bool opened_both = false;
+  if (day.nat64) {
+    // v6-only access network: there is no IPv4 path to race. Devices whose
+    // IPv6 is broken simply have no connectivity (the paper's CPE-breakage
+    // failure mode, made total); everything else rides IPv6, so no
+    // losing-family duplicate flow either.
+    if (!device_v6_ok) {
+      ++stats_.he_failures;
+      return;
+    }
+    via_v6 = true;
+  } else {
+    // Background chatter skews IPv4: much of it is legacy firmware and
+    // update CDNs pinned to literal IPv4 endpoints (the paper's
+    // observation that unoccupied-house traffic is mostly IPv4).
+    bool force_v4 = background && rng_.chance(cfg_.background_v4_bias);
 
-  double v4_rtt = rng_.lognormal(std::log(18.0), 0.4);
-  double v6_rtt = rng_.lognormal(std::log(18.0), 0.4);
-  auto decision = happy_eyeballs_race(true, ep.v6.has_value(),
-                                      device_v6_ok && !force_v4, v4_rtt,
-                                      v6_rtt, rng_, he_cfg_);
-  if (decision.failed) {
-    ++stats_.he_failures;
-    return;
+    double v4_rtt = rng_.lognormal(std::log(18.0), 0.4);
+    double v6_rtt = rng_.lognormal(std::log(18.0), 0.4);
+    auto decision = happy_eyeballs_race(true, ep.v6.has_value(),
+                                        device_v6_ok && !force_v4, v4_rtt,
+                                        v6_rtt, rng_, he_cfg_);
+    if (decision.failed) {
+      ++stats_.he_failures;
+      return;
+    }
+    via_v6 = decision.used == net::Family::v6 && ep.v6.has_value();
+    opened_both = decision.opened_both;
   }
+
+  // v6 sessions to v4-only destinations only happen behind NAT64, where
+  // the CPE translates toward the RFC 6146 well-known prefix.
+  const net::IpAddr dst =
+      !via_v6 ? net::IpAddr(ep.v4)
+              : net::IpAddr(ep.v6 ? *ep.v6
+                                  : net::IPv6Addr::from_halves(
+                                        0x0064'ff9b'0000'0000ull,
+                                        static_cast<std::uint64_t>(
+                                            ep.v4.value())));
 
   const bool use_udp = svc.profile == TrafficProfile::streaming ||
                        svc.profile == TrafficProfile::call
@@ -199,13 +236,8 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
     FlowSpec spec = sample_flow(svc.profile);
     net::FlowKey key;
     key.protocol = use_udp ? net::Protocol::udp : net::Protocol::tcp;
-    if (decision.used == net::Family::v6 && ep.v6) {
-      key.src = device_addr(device, net::Family::v6);
-      key.dst = *ep.v6;
-    } else {
-      key.src = device_addr(device, net::Family::v4);
-      key.dst = ep.v4;
-    }
+    key.src = device_addr(device, via_v6 ? net::Family::v6 : net::Family::v4);
+    key.dst = dst;
     key.src_port = next_port();
     key.dst_port = 443;
 
@@ -219,10 +251,10 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
   // The losing Happy Eyeballs connection: a near-empty flow on the other
   // family (§3.2's explanation for stable flow fractions vs volatile byte
   // fractions).
-  if (decision.opened_both) {
+  if (opened_both) {
     net::FlowKey key;
     key.protocol = net::Protocol::tcp;
-    if (decision.used == net::Family::v6) {
+    if (via_v6) {
       key.src = device_addr(device, net::Family::v4);
       key.dst = ep.v4;
     } else if (ep.v6) {
@@ -241,12 +273,15 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
 }
 
 template <typename Table>
-void ResidenceSimulator::run_internal(Table& table, Timestamp t) {
+void ResidenceSimulator::run_internal(Table& table, Timestamp t,
+                                      const DayPlan& day) {
   int a = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
   int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
   if (a == b) b = (b + 1) % device_count_;
 
-  bool v6 = rng_.chance(cfg_.internal_v6_frac);
+  const double v6_frac = day.internal_v6_frac >= 0.0 ? day.internal_v6_frac
+                                                     : cfg_.internal_v6_frac;
+  bool v6 = rng_.chance(v6_frac);
   net::FlowKey key;
   key.protocol = rng_.chance(0.5) ? net::Protocol::udp : net::Protocol::tcp;
   key.src = device_addr(a, v6 ? net::Family::v6 : net::Family::v4);
@@ -268,19 +303,33 @@ void ResidenceSimulator::simulate_hour(Table& table, int day, int hour) {
   const Timestamp hour_start =
       static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
       static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
+  const DayPlan& today = plan(day);
 
-  // Interactive sessions follow presence.
-  double lambda = cfg_.activity_scale * presence(day, hour);
+  // Interactive sessions follow presence, scaled by the timeline's
+  // seasonal multiplier.
+  double lambda = cfg_.activity_scale * today.activity_mult *
+                  presence(day, hour);
   int sessions = poisson(rng_, lambda);
   for (int s = 0; s < sessions; ++s) {
+    if (today.outage) {
+      // Connectivity is down: the session never reaches the WAN and the
+      // router sees nothing (humans notice and give up).
+      ++stats_.outage_suppressed;
+      continue;
+    }
     Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
-    run_session(table, t, service_sampler_.sample(rng_), /*background=*/false);
+    run_session(table, t, service_sampler_.sample(rng_), /*background=*/false,
+                today);
   }
 
   // Background chatter runs regardless of presence (phones at home, TVs
   // polling, OS updates) at a low constant rate.
   int bg = poisson(rng_, 1.2);
   for (int s = 0; s < bg; ++s) {
+    if (today.outage) {
+      ++stats_.outage_suppressed;
+      continue;
+    }
     Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
     // Background favours software/update and cloud endpoints.
     size_t idx = service_sampler_.sample(rng_);
@@ -294,13 +343,13 @@ void ResidenceSimulator::simulate_hour(Table& table, int day, int hour) {
         }
       }
     }
-    run_session(table, t, idx, /*background=*/true);
+    run_session(table, t, idx, /*background=*/true, today);
   }
 
-  // Internal LAN flows.
+  // Internal LAN flows: the one thing an outage does not stop.
   int internal = poisson(rng_, cfg_.internal_flows_per_hour *
                                    std::max(0.2, presence(day, hour)));
-  for (int s = 0; s < internal; ++s) run_internal(table, hour_start);
+  for (int s = 0; s < internal; ++s) run_internal(table, hour_start, today);
 }
 
 template <typename Table>

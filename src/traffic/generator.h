@@ -30,6 +30,7 @@ struct SimulationStats {
   std::uint64_t flows = 0;
   std::uint64_t skipped_invisible = 0;  ///< sessions lost to opt-out routers
   std::uint64_t he_failures = 0;        ///< Happy Eyeballs total failures
+  std::uint64_t outage_suppressed = 0;  ///< sessions lost to outage days
 };
 
 class ResidenceSimulator {
@@ -59,10 +60,12 @@ class ResidenceSimulator {
   void simulate_hour(Table& table, int day, int hour);
   template <typename Table>
   void run_session(Table& table, flowmon::Timestamp t, size_t service_idx,
-                   bool background);
+                   bool background, const DayPlan& day);
   template <typename Table>
-  void run_internal(Table& table, flowmon::Timestamp t);
+  void run_internal(Table& table, flowmon::Timestamp t, const DayPlan& day);
   [[nodiscard]] bool is_away(int day) const;
+  /// The timeline plan governing `day` (kStaticDayPlan when none).
+  [[nodiscard]] const DayPlan& plan(int day) const;
 
   /// Per-profile flow count and byte sampling.
   int flows_per_session(TrafficProfile p);

@@ -16,6 +16,31 @@
 
 namespace nbv6::traffic {
 
+/// One simulated day's effective overrides, derived from a scenario
+/// timeline (engine::apply_timeline). Plain data so the traffic layer
+/// stays independent of the engine: values < 0 keep the residence's
+/// static configuration for that day.
+struct DayPlan {
+  /// Multiplies the interactive activity rate (seasonal scaling).
+  double activity_mult = 1.0;
+  /// Effective probability that a device's IPv6 works this day; < 0 keeps
+  /// ResidenceConfig::device_v6_ok_frac (rollout waves / CPE fixes).
+  double device_v6_ok_frac = -1.0;
+  /// Effective LAN IPv6 share this day; < 0 keeps the static value.
+  double internal_v6_frac = -1.0;
+  /// External connectivity down: no WAN sessions at all, LAN continues.
+  bool outage = false;
+  /// Behind a v6-only (NAT64) access network: all WAN traffic rides IPv6,
+  /// v4-only destinations via 64:ff9b::/96 translation; devices whose
+  /// IPv6 is broken have no connectivity.
+  bool nat64 = false;
+
+  friend bool operator==(const DayPlan&, const DayPlan&) = default;
+};
+
+/// The all-defaults plan: what a day without timeline events behaves like.
+inline constexpr DayPlan kStaticDayPlan{};
+
 struct ResidenceConfig {
   std::string name;
 
@@ -47,6 +72,11 @@ struct ResidenceConfig {
   /// [first_day, last_day] inclusive ranges when the residence is empty
   /// (only background traffic). Day 135 ≈ mid-March 2025.
   std::vector<std::pair<int, int>> away_day_ranges;
+
+  /// Day-indexed timeline overrides (entry d applies to simulated day d);
+  /// empty = static behaviour for the whole horizon. Days past the end of
+  /// the vector also fall back to the static configuration.
+  std::vector<DayPlan> day_plan;
 
   std::uint64_t seed = 1;
 };

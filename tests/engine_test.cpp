@@ -77,6 +77,64 @@ TEST(FleetConfigParse, RejectsUnknownKeysAndBadValues) {
   EXPECT_FALSE(FleetConfig::parse("just a line\n").has_value());
 }
 
+TEST(FleetConfigParse, RejectsOutOfRangeAndNonFiniteValues) {
+  // Fractions are probabilities: outside [0, 1] is a config bug, not a
+  // clamp candidate.
+  EXPECT_FALSE(FleetConfig::parse("dual_stack_isp_frac = 1.5\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("broken_v6_frac = -0.1\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("opt_out_frac = 2\n").has_value());
+  // strtod parses these happily; the validator must not.
+  EXPECT_FALSE(FleetConfig::parse("absence_prob = nan\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("heavy_streamer_frac = inf\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("activity_scale_max = -inf\n").has_value());
+  EXPECT_FALSE(FleetConfig::parse("activity_scale_min = -1\n").has_value());
+  // Inverted activity range.
+  EXPECT_FALSE(FleetConfig::parse("activity_scale_min = 5\n"
+                                  "activity_scale_max = 2\n").has_value());
+  // Boundary values are fine.
+  auto ok = FleetConfig::parse("dual_stack_isp_frac = 0\n"
+                               "opt_out_frac = 1\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_DOUBLE_EQ(ok->dual_stack_isp_frac, 0.0);
+  EXPECT_DOUBLE_EQ(ok->opt_out_frac, 1.0);
+}
+
+TEST(FleetConfigParse, RejectsDuplicateScalarKeys) {
+  EXPECT_FALSE(FleetConfig::parse("days = 7\ndays = 8\n").has_value());
+  EXPECT_FALSE(
+      FleetConfig::parse("seed = 1\nresidences = 4\nseed = 2\n").has_value());
+  // Timeline event keys are the documented exception: repeatable.
+  auto cfg = FleetConfig::parse(
+      "timeline.outage = day=3\n"
+      "timeline.outage = day=5\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->timeline.events.size(), 2u);
+}
+
+TEST(FleetConfigParse, RoundTripsTimelineKeys) {
+  // A config carrying every event kind parses into the equivalent
+  // hand-built timeline (the round-trip the golden scenarios rely on).
+  auto cfg = FleetConfig::parse(
+      "residences = 8\n"
+      "days = 40\n"
+      "timeline.seasonal = start=0 end=39 amp=0.35 period=21\n"
+      "timeline.rollout_wave = start=10 end=28 frac=0.7\n"
+      "timeline.cpe_fix = start=20 end=26 frac=0.8\n"
+      "timeline.outage = start=22 end=24 frac=0.4\n"
+      "timeline.nat64_migration = start=30 end=39 frac=0.35\n");
+  ASSERT_TRUE(cfg.has_value());
+
+  Timeline expected;
+  expected.events = {
+      *Timeline::parse_event("seasonal", "start=0 end=39 amp=0.35 period=21"),
+      *Timeline::parse_event("rollout_wave", "start=10 end=28 frac=0.7"),
+      *Timeline::parse_event("cpe_fix", "start=20 end=26 frac=0.8"),
+      *Timeline::parse_event("outage", "start=22 end=24 frac=0.4"),
+      *Timeline::parse_event("nat64_migration", "start=30 end=39 frac=0.35"),
+  };
+  EXPECT_EQ(cfg->timeline, expected);
+}
+
 TEST(SampleFleet, DeterministicPerSeedAndIndex) {
   auto catalog = traffic::build_paper_catalog();
   FleetConfig cfg;

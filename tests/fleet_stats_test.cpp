@@ -115,6 +115,84 @@ TEST(RankSum, NegativeValuesHandled) {
   EXPECT_NEAR(r->p_value, 0.1, 1e-12);
 }
 
+// -------------------------------------------- rank-sum degenerate inputs
+// Raw fleet metric columns stream in with NaN undefined-value sentinels;
+// every degenerate shape must yield a defined no-result (nullopt) or a
+// defined no-evidence result — never NaN statistics, never UB.
+
+TEST(RankSumDegenerate, NanObservationsDropped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs{nan, 1.0, 2.0, nan, 3.0};
+  std::vector<double> ys{4.0, nan, 5.0, 6.0};
+  auto dirty = stats::wilcoxon_rank_sum(xs, ys);
+  std::vector<double> cx{1.0, 2.0, 3.0}, cy{4.0, 5.0, 6.0};
+  auto clean = stats::wilcoxon_rank_sum(cx, cy);
+  ASSERT_TRUE(dirty.has_value());
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(dirty->n1, clean->n1);
+  EXPECT_EQ(dirty->n2, clean->n2);
+  EXPECT_DOUBLE_EQ(dirty->u1, clean->u1);
+  EXPECT_DOUBLE_EQ(dirty->p_value, clean->p_value);
+}
+
+TEST(RankSumDegenerate, AllNanSideNoResult) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs{nan, nan}, ys{1.0, 2.0};
+  EXPECT_FALSE(stats::wilcoxon_rank_sum(xs, ys).has_value());
+  EXPECT_FALSE(stats::wilcoxon_rank_sum(ys, xs).has_value());
+}
+
+TEST(RankSumDegenerate, SingleObservationEachSideDefined) {
+  std::vector<double> xs{1.0}, ys{2.0};
+  auto r = stats::wilcoxon_rank_sum(xs, ys);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->n1, 1u);
+  EXPECT_EQ(r->n2, 1u);
+  // 1-vs-1 carries no evidence: exact two-sided p = 1.
+  EXPECT_DOUBLE_EQ(r->p_value, 1.0);
+  EXPECT_FALSE(std::isnan(r->z));
+  EXPECT_FALSE(std::isnan(r->effect_size_r));
+}
+
+TEST(RankSumDegenerate, SingleTiedPairNoVariance) {
+  std::vector<double> xs{2.0}, ys{2.0};
+  auto r = stats::wilcoxon_rank_sum(xs, ys);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r->z, 0.0);
+}
+
+TEST(CompareGroupsDegenerate, EmptyAndUndefinedGroupsYieldNoRows) {
+  // A fleet where one comparison group is empty and another has all-NaN
+  // metric values: compare_groups must skip those rows (a defined
+  // no-result) and holm-adjust whatever remains without incident.
+  core::FleetMetricMatrix matrix;
+  matrix.metrics = {core::FleetMetric::v6_byte_fraction,
+                    core::FleetMetric::external_gb};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  matrix.values = {{nan, nan, nan, nan}, {1.0, 2.0, 3.0, 4.0}};
+
+  std::vector<engine::ResidenceTraits> traits(4);
+  traits[0].dual_stack_isp = true;
+  traits[1].dual_stack_isp = true;
+  traits[2].dual_stack_isp = true;
+  traits[3].dual_stack_isp = true;  // v4_only group is EMPTY
+
+  auto cmp = core::compare_groups(matrix, traits, core::FleetGroup::dual_stack,
+                                  core::FleetGroup::v4_only);
+  EXPECT_TRUE(cmp.rows.empty());  // empty group: nothing testable, no crash
+
+  // Against a non-empty complement, the all-NaN metric row is skipped but
+  // the defined metric still tests.
+  traits[3].dual_stack_isp = false;
+  cmp = core::compare_groups(matrix, traits, core::FleetGroup::dual_stack,
+                             core::FleetGroup::v4_only);
+  ASSERT_EQ(cmp.rows.size(), 1u);
+  EXPECT_EQ(cmp.rows[0].metric,
+            core::to_string(core::FleetMetric::external_gb));
+  EXPECT_FALSE(std::isnan(cmp.rows[0].p_holm));
+}
+
 // ------------------------------------------------------- StreamingCdf
 
 TEST(StreamingCdf, MomentsMatchExactStatistics) {

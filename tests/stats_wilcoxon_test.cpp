@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "stats/wilcoxon.h"
 
@@ -179,6 +181,62 @@ TEST(Holm, MoreConservativeThanUnadjusted) {
   std::vector<double> p{0.02, 0.04, 0.045};
   auto r = holm_bonferroni(p, 0.05);
   for (size_t i = 0; i < p.size(); ++i) EXPECT_GE(r.adjusted_p[i], p[i]);
+}
+
+// ------------------------------------------------ degenerate inputs
+// The fleet layer feeds raw metric columns into these tests; every
+// degenerate shape must come back as a defined no-result or a defined
+// no-evidence result — never NaN statistics, never UB.
+
+TEST(WilcoxonDegenerate, MismatchedLengthsNoResult) {
+  std::vector<double> xs{1.0, 2.0, 3.0}, ys{1.0, 2.0};
+  EXPECT_FALSE(wilcoxon_signed_rank(xs, ys).has_value());
+}
+
+TEST(WilcoxonDegenerate, NanDifferencesDropped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN pairs vanish; the rest behave exactly like the clean sample.
+  std::vector<double> xs{nan, 5.0, 6.0, 7.0, nan};
+  std::vector<double> ys{1.0, 1.0, 2.0, 3.0, 2.0};
+  auto with_nan = wilcoxon_signed_rank(xs, ys);
+  std::vector<double> cx{5.0, 6.0, 7.0}, cy{1.0, 2.0, 3.0};
+  auto clean = wilcoxon_signed_rank(cx, cy);
+  ASSERT_TRUE(with_nan.has_value());
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(with_nan->n, clean->n);
+  EXPECT_DOUBLE_EQ(with_nan->w_plus, clean->w_plus);
+  EXPECT_DOUBLE_EQ(with_nan->p_value, clean->p_value);
+  EXPECT_FALSE(std::isnan(with_nan->z));
+}
+
+TEST(WilcoxonDegenerate, AllNanNoResult) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> d{nan, nan, nan};
+  EXPECT_FALSE(wilcoxon_signed_rank(d).has_value());
+}
+
+TEST(WilcoxonDegenerate, SinglePairDefined) {
+  std::vector<double> xs{2.0}, ys{1.0};
+  auto r = wilcoxon_signed_rank(xs, ys);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->n, 1u);
+  // One positive difference: W+ = 1, exact two-sided p = 1 (both tails).
+  EXPECT_DOUBLE_EQ(r->w_plus, 1.0);
+  EXPECT_DOUBLE_EQ(r->p_value, 1.0);
+  EXPECT_FALSE(std::isnan(r->effect_size_r));
+}
+
+TEST(HolmDegenerate, NanPValuesNeverRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> p{0.001, nan, 0.01, nan};
+  auto r = holm_bonferroni(p, 0.05);
+  EXPECT_TRUE(r.reject[0]);
+  EXPECT_FALSE(r.reject[1]);
+  EXPECT_TRUE(r.reject[2]);
+  EXPECT_FALSE(r.reject[3]);
+  // NaNs adjust as 1.0 and nothing in the output is NaN.
+  for (double adj : r.adjusted_p) EXPECT_FALSE(std::isnan(adj));
+  EXPECT_DOUBLE_EQ(r.adjusted_p[1], 1.0);
 }
 
 TEST(NormalCdf, KnownValues) {
