@@ -3,8 +3,10 @@
 // cloud providers. Each default group pair (healthy-v6 vs broken-CPE,
 // dual-stack vs v4-only, streamer vs baseline, visible vs opt-out) gets an
 // unpaired rank-sum panel over every fleet metric; active homes get the
-// paired signed-rank metric panel. Writes one TSV for plotting or CI
-// artifact upload and prints it to stdout.
+// paired signed-rank metric panel; and the horizon's two halves get the
+// paired pre/post day-window panel (day-resolved metrics, including the
+// per-day session stats behind he_failure_rate). Writes one TSV for
+// plotting or CI artifact upload and prints it to stdout.
 //
 //   ./build/fleet_fig_wilcoxon [panel-out.tsv]
 //
@@ -48,6 +50,23 @@ int main(int argc, char** argv) {
   std::printf("\n-- paired metric panel (active homes) --\n");
   core::write_panel_tsv(stdout, report.paired);
   core::write_panel_tsv(out, report.paired, first);
+  first = false;
+
+  // Pre/post panel over the horizon's halves: with a timeline this is the
+  // before/after comparison, without one a self-check near the null. The
+  // day-resolved session stats make every row real — he_failure_rate
+  // included.
+  if (cfg.days >= 2) {
+    core::DayWindow pre{0, cfg.days / 2 - 1};
+    core::DayWindow post{cfg.days / 2, cfg.days - 1};
+    auto windows =
+        core::compare_windows(result, core::default_fleet_metrics(), pre,
+                              post, core::FleetGroup::all, fleet.pool());
+    std::printf("\n-- days %d-%d vs days %d-%d (paired, Holm alpha=0.05) --\n",
+                pre.first, pre.last, post.first, post.last);
+    core::write_panel_tsv(stdout, windows);
+    core::write_panel_tsv(out, windows, first);
+  }
   std::fclose(out);
   std::printf("\nwrote %s\n", panel_path);
 

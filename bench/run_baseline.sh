@@ -73,6 +73,7 @@ def load(path):
 prev, cur = load(prev_path), load(cur_path)
 common = [n for n in cur if n in prev]
 regressed = []
+comparable = 0
 # Two labeled tiers: >5% slower earns an informational notice in the
 # table; >25% slower is what the --check gate fails on.
 NOTICE, GATE = 1.05, 1.25
@@ -80,9 +81,23 @@ if common:
     print(f"\n--- regression vs {prev_path.split('/')[-1]} "
           f"(old/new real_time; >1 is faster) ---")
     for name in common:
-        old, new = prev[name]["real_time"], cur[name]["real_time"]
+        old = prev[name].get("real_time")
+        new = cur[name].get("real_time")
         unit = cur[name].get("time_unit", "ns")
-        ratio = old / new if new else float("inf")
+        # A zero or missing time on either side cannot anchor a ratio:
+        # dividing by it (or gating on 1.25 * 0) would fabricate a pass or
+        # a regression. Name the broken side so the operator fixes the
+        # right file.
+        if not old or old <= 0:
+            print(f"  {name:<36} no baseline (old={old!r})"
+                  " -- not comparable")
+            continue
+        if not new or new <= 0:
+            print(f"  {name:<36} current run produced no usable time"
+                  f" (new={new!r}) -- not comparable")
+            continue
+        comparable += 1
+        ratio = old / new
         if new > GATE * old:
             regressed.append((name, ratio))
             flag = "   <-- REGRESSION (>25%, gates --check)"
@@ -95,8 +110,14 @@ new_only = [n for n in cur if n not in prev]
 if new_only:
     print("--- new benchmarks (no prior baseline) ---")
     for name in new_only:
-        print(f"  {name:<36} {cur[name]['real_time']:12.1f} {cur[name].get('time_unit','ns')}")
+        print(f"  {name:<36} {cur[name].get('real_time', 0.0):12.1f} {cur[name].get('time_unit','ns')}")
 
+if check and comparable == 0:
+    # A gate with nothing to compare must say so and fail, not silently
+    # report success over an empty table.
+    print(f"\nFAIL: no baseline -- {prev_path.split('/')[-1]} shares no "
+          "comparable (nonzero-time) benchmarks with this run")
+    sys.exit(1)
 if check and regressed:
     print(f"\nFAIL: {len(regressed)} benchmark(s) regressed >25% "
           f"vs {prev_path.split('/')[-1]}:")

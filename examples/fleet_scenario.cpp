@@ -60,6 +60,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   result.totals.outage_suppressed));
 
+  // The day-resolved view of the same counters: the fleet-wide failure
+  // peak, usually the tail of whatever the timeline scheduled.
+  if (result.totals.he_failures > 0 && !result.totals.daily.empty()) {
+    size_t peak = 0;
+    for (size_t d = 1; d < result.totals.daily.size(); ++d)
+      if (result.totals.daily[d].he_failures >
+          result.totals.daily[peak].he_failures)
+        peak = d;
+    const auto& ds = result.totals.daily[peak];
+    std::printf("peak HE-failure day: day %zu (%llu failures over %llu "
+                "sessions, rate %.4f)\n",
+                peak, static_cast<unsigned long long>(ds.he_failures),
+                static_cast<unsigned long long>(ds.sessions),
+                ds.sessions == 0 ? 0.0
+                                 : static_cast<double>(ds.he_failures) /
+                                       static_cast<double>(ds.sessions));
+  }
+
   // Fleet-level Table-1 rows + population spread from the merged monitor:
   // the core analyses run unchanged on the reduced view.
   auto report = core::analyze_fleet(result);

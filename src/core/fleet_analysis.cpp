@@ -44,20 +44,39 @@ double metric_value(const engine::ResidenceRun& run, FleetMetric m) {
                  ? kNan
                  : static_cast<double>(run.stats.he_failures) /
                        static_cast<double>(run.stats.sessions);
+    case FleetMetric::sessions_k:
+      return static_cast<double>(run.stats.sessions) / 1e3;
+    case FleetMetric::outage_suppressed_k:
+      return static_cast<double>(run.stats.outage_suppressed) / 1e3;
   }
   return kNan;
 }
 
-/// `metric_value` restricted to flows starting inside `window`, recomputed
-/// from the monitor's per-day aggregates (the only day-resolved state the
-/// shards keep). Mirrors metric_value's undefined-value conventions.
+/// `metric_value` restricted to the days inside `window`, recomputed from
+/// the monitor's per-day aggregates and the simulator's per-day session
+/// stats. Mirrors metric_value's undefined-value conventions; a window
+/// that does not intersect the residence's simulated horizon (inverted, or
+/// entirely past the last day) is NaN for every metric — there is no day
+/// to count, so even the count metrics are undefined rather than zero.
 double metric_value_window(const engine::ResidenceRun& run, FleetMetric m,
                            const DayWindow& window) {
+  if (!window.valid() || window.first >= run.config.days || window.last < 0)
+    return kNan;
   const auto& mon = run.monitor;
   auto windowed = [&window](const std::map<int, flowmon::FamilySplit>& daily) {
     flowmon::FamilySplit sum;
     for (const auto& [day, split] : daily)
       if (window.contains(day)) sum += split;
+    return sum;
+  };
+  // The windowed slice of the per-day session-stat series; the simulator
+  // sizes `daily` to the horizon, so the clamp is belt and braces for
+  // hand-built results.
+  auto windowed_stats = [&window, &run] {
+    traffic::DaySessionStats sum;
+    const auto& daily = run.stats.daily;
+    for (size_t d = 0; d < daily.size(); ++d)
+      if (window.contains(static_cast<int>(d))) sum += daily[d];
     return sum;
   };
   switch (m) {
@@ -93,8 +112,16 @@ double metric_value_window(const engine::ResidenceRun& run, FleetMetric m,
       return static_cast<double>(
                  windowed(mon.daily(flowmon::Scope::internal)).total_bytes()) /
              1e9;
-    case FleetMetric::he_failure_rate:
-      return kNan;  // SimulationStats is not day-resolved
+    case FleetMetric::he_failure_rate: {
+      const auto s = windowed_stats();
+      return s.sessions == 0 ? kNan
+                             : static_cast<double>(s.he_failures) /
+                                   static_cast<double>(s.sessions);
+    }
+    case FleetMetric::sessions_k:
+      return static_cast<double>(windowed_stats().sessions) / 1e3;
+    case FleetMetric::outage_suppressed_k:
+      return static_cast<double>(windowed_stats().outage_suppressed) / 1e3;
   }
   return kNan;
 }
@@ -132,6 +159,8 @@ const char* to_string(FleetMetric m) {
     case FleetMetric::external_flows_k: return "external_flows_k";
     case FleetMetric::internal_gb: return "internal_gb";
     case FleetMetric::he_failure_rate: return "he_failure_rate";
+    case FleetMetric::sessions_k: return "sessions_k";
+    case FleetMetric::outage_suppressed_k: return "outage_suppressed_k";
   }
   return "?";
 }
@@ -208,6 +237,11 @@ GroupComparison compare_windows(const engine::FleetResult& result,
         "compare_windows: result carries no index-aligned traits "
         "(run the engine via a FleetConfig or SampledFleet)");
   GroupComparison out{group, group, {}};
+  // Degenerate windows are a defined no-result, not a silent wrong answer:
+  // an inverted window contains no day, so there is nothing to test. (A
+  // window past every residence's horizon falls out the same way — every
+  // windowed metric extracts as NaN, leaving no testable pair.)
+  if (!pre.valid() || !post.valid()) return out;
   auto members = group_members(result.traits, group);
   auto m_pre = extract_metrics(result, metrics, pre, pool);
   auto m_post = extract_metrics(result, metrics, post, pool);

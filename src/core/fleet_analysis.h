@@ -38,6 +38,8 @@ enum class FleetMetric {
   external_flows_k,        ///< external flows, thousands
   internal_gb,             ///< internal (LAN) bytes, GB
   he_failure_rate,         ///< Happy Eyeballs failures per session
+  sessions_k,              ///< sessions attempted, thousands
+  outage_suppressed_k,     ///< sessions lost to outage days, thousands
 };
 
 const char* to_string(FleetMetric m);
@@ -76,12 +78,20 @@ struct DayWindow {
   [[nodiscard]] bool contains(int day) const {
     return day >= first && day <= last;
   }
+  /// An inverted window (last < first) contains no day and is treated as
+  /// degenerate input everywhere: windowed extract_metrics returns all-NaN
+  /// and compare_windows a defined empty panel.
+  [[nodiscard]] bool valid() const { return first <= last; }
   friend bool operator==(const DayWindow&, const DayWindow&) = default;
 };
 
-/// extract_metrics() restricted to flows that started inside `window`,
-/// computed from each shard monitor's per-day aggregates. he_failure_rate
-/// is not day-resolved and extracts as NaN (undefined) in any window.
+/// extract_metrics() restricted to the sessions and flows of the days
+/// inside `window`, computed from each shard monitor's per-day aggregates
+/// and the simulator's per-day session stats (so he_failure_rate,
+/// sessions_k, and outage_suppressed_k are real numbers in any window that
+/// intersects the horizon). A residence whose simulated horizon does not
+/// intersect `window` — including every residence when the window is
+/// inverted — extracts as NaN for every metric: no simulated day, no value.
 FleetMetricMatrix extract_metrics(const engine::FleetResult& result,
                                   std::span<const FleetMetric> metrics,
                                   DayWindow window,
@@ -145,7 +155,9 @@ GroupComparison compare_metrics_paired(
 /// group_a == group_b == `group` in the result; rows keep the plain metric
 /// name (the window pair is the caller's context). Requires index-aligned
 /// traits on the result (throws std::invalid_argument otherwise) and is
-/// deterministic for any `pool` lane count.
+/// deterministic for any `pool` lane count. Degenerate windows — inverted,
+/// or entirely outside the simulated horizon — yield a defined empty panel
+/// (no rows), mirroring the Wilcoxon layer's NaN hardening.
 GroupComparison compare_windows(const engine::FleetResult& result,
                                 std::span<const FleetMetric> metrics,
                                 DayWindow pre, DayWindow post,

@@ -81,6 +81,15 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text) {
   }
   if (cfg.residences < 1 || cfg.days < 1) return std::nullopt;
   if (cfg.activity_scale_min > cfg.activity_scale_max) return std::nullopt;
+  // Timeline events are validated against the horizon only now: `days` may
+  // appear anywhere in the file, including after the event lines. An event
+  // whose window starts past the last simulated day can never fire — that
+  // is a scenario bug (typo'd day, horizon shrunk without moving events),
+  // not intent, so it fails the parse. Open-ended windows (no `end=`) and
+  // windows whose tail runs past the horizon stay legal: evaluation clamps
+  // them to [start_day, days - 1] deterministically.
+  for (const auto& ev : cfg.timeline.events)
+    if (ev.start_day >= cfg.days) return std::nullopt;
   return cfg;
 }
 
@@ -208,11 +217,7 @@ FleetResult FleetEngine::run(
   // fleet view is bit-identical for any lane count.
   for (const auto& run : out.residences) {
     out.fleet.merge(run.monitor);
-    out.totals.sessions += run.stats.sessions;
-    out.totals.flows += run.stats.flows;
-    out.totals.skipped_invisible += run.stats.skipped_invisible;
-    out.totals.he_failures += run.stats.he_failures;
-    out.totals.outage_suppressed += run.stats.outage_suppressed;
+    out.totals += run.stats;  // horizon totals + the per-day series
   }
   return out;
 }
@@ -229,9 +234,9 @@ FleetResult FleetEngine::run(const SampledFleet& fleet) {
   return out;
 }
 
-FleetResult FleetEngine::run(const FleetConfig& cfg) {
+FleetResult FleetEngine::run(const FleetConfig& cfg, TimelinePlanMode mode) {
   SampledFleet sampled = sample_fleet_detailed(cfg, *catalog_);
-  apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days);
+  apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days, mode);
   return run(sampled);
 }
 

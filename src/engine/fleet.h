@@ -74,10 +74,12 @@ struct FleetConfig {
 
   /// Parse "key = value" lines ('#' starts a comment). The parse fails on:
   /// unknown keys, malformed or non-finite numbers, fractions outside
-  /// [0, 1], activity_scale_min/max that are negative or inverted, and any
-  /// scalar key given twice. "timeline.<kind>" keys are the one exception
-  /// to the duplicate rule: each occurrence appends one event, in file
-  /// order (ordering is part of the deterministic derivation).
+  /// [0, 1], activity_scale_min/max that are negative or inverted, any
+  /// scalar key given twice, and any timeline event whose window starts at
+  /// or past the horizon (start_day >= days — it could never fire).
+  /// "timeline.<kind>" keys are the one exception to the duplicate rule:
+  /// each occurrence appends one event, in file order (ordering is part of
+  /// the deterministic derivation).
   static std::optional<FleetConfig> parse(std::string_view text);
   /// Load from a file via parse(). nullopt if unreadable or invalid.
   static std::optional<FleetConfig> load(const std::string& path);
@@ -134,6 +136,8 @@ struct FleetResult {
   /// All shard monitors merged in residence-index order; feeds the
   /// existing core analyses (analyze_residence, as_usage, ...) unchanged.
   flowmon::FlowMonitor fleet;
+  /// Horizon totals plus the merged per-day session-stat series
+  /// (totals.daily[d] = day d summed across every residence).
   traffic::SimulationStats totals;
 };
 
@@ -151,8 +155,11 @@ class FleetEngine {
   FleetResult run(const SampledFleet& fleet);
 
   /// sample_fleet_detailed() + apply_timeline() + run() in one step: the
-  /// full scenario pipeline, timeline included.
-  FleetResult run(const FleetConfig& cfg);
+  /// full scenario pipeline, timeline included. `mode` selects lazy
+  /// (default) or materialized day plans — byte-identical outcomes, see
+  /// TimelinePlanMode.
+  FleetResult run(const FleetConfig& cfg,
+                  TimelinePlanMode mode = TimelinePlanMode::lazy);
 
   /// Total worker lanes (pool workers + the calling thread).
   [[nodiscard]] int lanes() const { return lanes_; }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -244,6 +245,37 @@ TimelineDayState day_state_from_draws(const Timeline& tl,
   return s;
 }
 
+/// TimelineDayState -> the traffic layer's DayPlan for one residence. The
+/// single conversion both plan modes share, so lazy and materialized paths
+/// cannot drift apart. `static_internal_v6_frac` is the residence's sampled
+/// internal_v6_frac (the value negative plan fields fall back to).
+traffic::DayPlan day_plan_from_state(const TimelineDayState& s,
+                                     const ResidenceTraits& base,
+                                     double static_internal_v6_frac) {
+  traffic::DayPlan p;
+  p.activity_mult = s.activity_mult;
+  p.outage = s.outage;
+  p.nat64 = s.nat64;
+  // Effective device/internal IPv6 for the day. Negative values mean
+  // "keep the sampled static config"; only genuine state changes are
+  // materialized so a no-op event leaves the plan at defaults.
+  if (s.nat64 && !base.dual_stack_isp) {
+    // A formerly v4-only home behind the new v6-only access network:
+    // devices overwhelmingly speak v6 once a prefix finally exists.
+    p.device_v6_ok_frac = 0.95;
+    p.internal_v6_frac = std::max(static_internal_v6_frac, 0.75);
+  } else if (base.dual_stack_isp) {
+    if (base.broken_v6 && !s.cpe_broken)
+      p.device_v6_ok_frac = 1.0;  // firmware fix landed
+  } else if (s.isp_v6) {
+    // Rollout wave flipped a v4-only home on: working device IPv6 and
+    // a LAN that starts using it.
+    p.device_v6_ok_frac = 1.0;
+    p.internal_v6_frac = std::max(static_internal_v6_frac, 0.75);
+  }
+  return p;
+}
+
 }  // namespace
 
 TimelineDayState timeline_day_state(const Timeline& tl, std::uint64_t seed,
@@ -254,44 +286,50 @@ TimelineDayState timeline_day_state(const Timeline& tl, std::uint64_t seed,
 }
 
 void apply_timeline(SampledFleet& fleet, const Timeline& tl,
-                    std::uint64_t seed, int days) {
+                    std::uint64_t seed, int days, TimelinePlanMode mode) {
   if (tl.empty()) {
-    for (auto& cfg : fleet.configs) cfg.day_plan.clear();
+    for (auto& cfg : fleet.configs) {
+      cfg.day_plan.clear();
+      cfg.day_plan_fn = nullptr;
+    }
     return;
   }
+  // One shared timeline copy for every lazy provider: the captured state
+  // per residence is a shared_ptr, the per-event draws, the traits, and two
+  // scalars — nothing proportional to the horizon.
+  const auto shared_tl = mode == TimelinePlanMode::lazy
+                             ? std::make_shared<const Timeline>(tl)
+                             : nullptr;
   for (size_t i = 0; i < fleet.configs.size(); ++i) {
     traffic::ResidenceConfig& cfg = fleet.configs[i];
     const ResidenceTraits& base = fleet.traits[i];
-    cfg.day_plan.assign(static_cast<size_t>(std::max(days, 0)),
-                        traffic::DayPlan{});
     // The per-(event, residence) draws are day-invariant: derive them once
     // per residence, not once per (residence, day).
-    const auto draws = draw_all_events(tl, seed, static_cast<int>(i), days);
-    for (int day = 0; day < days; ++day) {
-      const TimelineDayState s =
-          day_state_from_draws(tl, draws, day, days, base);
-      traffic::DayPlan& p = cfg.day_plan[static_cast<size_t>(day)];
-      p.activity_mult = s.activity_mult;
-      p.outage = s.outage;
-      p.nat64 = s.nat64;
-      // Effective device/internal IPv6 for the day. Negative values mean
-      // "keep the sampled static config"; only genuine state changes are
-      // materialized so a no-op event leaves the plan at defaults.
-      if (s.nat64 && !base.dual_stack_isp) {
-        // A formerly v4-only home behind the new v6-only access network:
-        // devices overwhelmingly speak v6 once a prefix finally exists.
-        p.device_v6_ok_frac = 0.95;
-        p.internal_v6_frac = std::max(cfg.internal_v6_frac, 0.75);
-      } else if (base.dual_stack_isp) {
-        if (base.broken_v6 && !s.cpe_broken)
-          p.device_v6_ok_frac = 1.0;  // firmware fix landed
-      } else if (s.isp_v6) {
-        // Rollout wave flipped a v4-only home on: working device IPv6 and
-        // a LAN that starts using it.
-        p.device_v6_ok_frac = 1.0;
-        p.internal_v6_frac = std::max(cfg.internal_v6_frac, 0.75);
-      }
+    auto draws = draw_all_events(tl, seed, static_cast<int>(i), days);
+
+    if (mode == TimelinePlanMode::lazy) {
+      cfg.day_plan.clear();
+      cfg.day_plan_fn = [shared_tl, draws = std::move(draws), base, days,
+                         internal_v6 = cfg.internal_v6_frac](int day) {
+        // Outside the horizon the materialized vector falls back to the
+        // static configuration (the day_plan.size() bounds check); the
+        // lazy provider must match or the two modes diverge whenever a
+        // config's days exceeds the horizon given to apply_timeline.
+        if (day < 0 || day >= days) return traffic::kStaticDayPlan;
+        return day_plan_from_state(
+            day_state_from_draws(*shared_tl, draws, day, days, base), base,
+            internal_v6);
+      };
+      continue;
     }
+
+    cfg.day_plan_fn = nullptr;
+    cfg.day_plan.assign(static_cast<size_t>(std::max(days, 0)),
+                        traffic::DayPlan{});
+    for (int day = 0; day < days; ++day)
+      cfg.day_plan[static_cast<size_t>(day)] = day_plan_from_state(
+          day_state_from_draws(tl, draws, day, days, base), base,
+          cfg.internal_v6_frac);
   }
 }
 

@@ -123,12 +123,28 @@ TimelineDayState timeline_day_state(const Timeline& tl, std::uint64_t seed,
                                     int index, int day, int days,
                                     const ResidenceTraits& base);
 
-/// Materialize per-day DayPlan entries onto every sampled config (a no-op
-/// for an empty timeline, leaving the static fast path untouched). `seed`
-/// and `days` are the scenario's master seed and horizon. Idempotent:
-/// plans are recomputed from scratch on every call.
+/// How apply_timeline hands day plans to the traffic layer.
+enum class TimelinePlanMode {
+  /// Install a per-residence DayPlanFn that computes timeline_day_state on
+  /// the fly (one evaluation per simulated day). Memory stays
+  /// O(lanes x days) — nothing proportional to residences x days is ever
+  /// allocated. The default, and bit-identical to `materialized` (pinned by
+  /// the golden-replay suite and the lazy/materialized parity tests).
+  lazy,
+  /// Materialize residences x days DayPlan entries up front (~32 B per
+  /// day per home). Kept as the parity reference and for callers that want
+  /// to inspect or mutate plans directly.
+  materialized,
+};
+
+/// Hand the timeline's per-day plans to every sampled config — lazily by
+/// default (see TimelinePlanMode), or materialized on request. A no-op for
+/// an empty timeline, leaving the static fast path untouched. `seed` and
+/// `days` are the scenario's master seed and horizon. Idempotent: each call
+/// recomputes from scratch and clears the other mode's state.
 void apply_timeline(SampledFleet& fleet, const Timeline& tl,
-                    std::uint64_t seed, int days);
+                    std::uint64_t seed, int days,
+                    TimelinePlanMode mode = TimelinePlanMode::lazy);
 
 // ------------------------------------------------ shared config parsing
 // Helpers shared by FleetConfig::parse and Timeline::parse_event so the

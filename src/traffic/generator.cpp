@@ -55,7 +55,8 @@ bool ResidenceSimulator::is_away(int day) const {
   return false;
 }
 
-const DayPlan& ResidenceSimulator::plan(int day) const {
+DayPlan ResidenceSimulator::plan(int day) const {
+  if (cfg_.day_plan_fn) return cfg_.day_plan_fn(day);
   if (day >= 0 && static_cast<size_t>(day) < cfg_.day_plan.size())
     return cfg_.day_plan[static_cast<size_t>(day)];
   return kStaticDayPlan;
@@ -299,11 +300,11 @@ void ResidenceSimulator::run_internal(Table& table, Timestamp t,
 }
 
 template <typename Table>
-void ResidenceSimulator::simulate_hour(Table& table, int day, int hour) {
+void ResidenceSimulator::simulate_hour(Table& table, int day, int hour,
+                                       const DayPlan& today) {
   const Timestamp hour_start =
       static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
       static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
-  const DayPlan& today = plan(day);
 
   // Interactive sessions follow presence, scaled by the timeline's
   // seasonal multiplier.
@@ -355,8 +356,21 @@ void ResidenceSimulator::simulate_hour(Table& table, int day, int hour) {
 template <typename Table>
 SimulationStats ResidenceSimulator::run(Table& table) {
   stats_ = SimulationStats{};
-  for (int day = 0; day < cfg_.days; ++day)
-    for (int hour = 0; hour < 24; ++hour) simulate_hour(table, day, hour);
+  stats_.daily.assign(static_cast<size_t>(std::max(cfg_.days, 0)),
+                      DaySessionStats{});
+  for (int day = 0; day < cfg_.days; ++day) {
+    // The plan is a pure function of the day; one evaluation governs all
+    // 24 hours (and keeps lazy providers out of the hour loop).
+    const DayPlan today = plan(day);
+    const DaySessionStats before{stats_.sessions, stats_.he_failures,
+                                 stats_.outage_suppressed};
+    for (int hour = 0; hour < 24; ++hour)
+      simulate_hour(table, day, hour, today);
+    stats_.daily[static_cast<size_t>(day)] = {
+        stats_.sessions - before.sessions,
+        stats_.he_failures - before.he_failures,
+        stats_.outage_suppressed - before.outage_suppressed};
+  }
   table.flush(static_cast<Timestamp>(cfg_.days) * flowmon::kSecondsPerDay);
   return stats_;
 }

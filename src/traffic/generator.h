@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "flowmon/conntrack.h"
 #include "stats/rng.h"
@@ -25,12 +26,48 @@
 
 namespace nbv6::traffic {
 
+/// One simulated day's session outcomes — the day-resolved slice of
+/// SimulationStats that windowed analyses (pre/post failure-rate panels
+/// across NAT64 migrations and outages) test on.
+struct DaySessionStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t he_failures = 0;
+  std::uint64_t outage_suppressed = 0;
+
+  DaySessionStats& operator+=(const DaySessionStats& o) {
+    sessions += o.sessions;
+    he_failures += o.he_failures;
+    outage_suppressed += o.outage_suppressed;
+    return *this;
+  }
+  friend bool operator==(const DaySessionStats&,
+                         const DaySessionStats&) = default;
+};
+
 struct SimulationStats {
   std::uint64_t sessions = 0;
   std::uint64_t flows = 0;
   std::uint64_t skipped_invisible = 0;  ///< sessions lost to opt-out routers
   std::uint64_t he_failures = 0;        ///< Happy Eyeballs total failures
   std::uint64_t outage_suppressed = 0;  ///< sessions lost to outage days
+  /// Entry d = day d's slice of the counters above (sessions, he_failures,
+  /// outage_suppressed sum to the horizon totals). Sized to the simulated
+  /// horizon by ResidenceSimulator::run.
+  std::vector<DaySessionStats> daily;
+
+  /// Fold another run's counters into this one (the fleet reduction).
+  /// Element-wise over the daily series, resizing to the longer horizon;
+  /// associative and commutative, so any fold order is bit-identical.
+  SimulationStats& operator+=(const SimulationStats& o) {
+    sessions += o.sessions;
+    flows += o.flows;
+    skipped_invisible += o.skipped_invisible;
+    he_failures += o.he_failures;
+    outage_suppressed += o.outage_suppressed;
+    if (daily.size() < o.daily.size()) daily.resize(o.daily.size());
+    for (size_t d = 0; d < o.daily.size(); ++d) daily[d] += o.daily[d];
+    return *this;
+  }
 };
 
 class ResidenceSimulator {
@@ -57,15 +94,17 @@ class ResidenceSimulator {
   };
 
   template <typename Table>
-  void simulate_hour(Table& table, int day, int hour);
+  void simulate_hour(Table& table, int day, int hour, const DayPlan& today);
   template <typename Table>
   void run_session(Table& table, flowmon::Timestamp t, size_t service_idx,
                    bool background, const DayPlan& day);
   template <typename Table>
   void run_internal(Table& table, flowmon::Timestamp t, const DayPlan& day);
   [[nodiscard]] bool is_away(int day) const;
-  /// The timeline plan governing `day` (kStaticDayPlan when none).
-  [[nodiscard]] const DayPlan& plan(int day) const;
+  /// The timeline plan governing `day`: the lazy provider when the config
+  /// carries one, else the materialized vector, else kStaticDayPlan.
+  /// Evaluated once per simulated day by run().
+  [[nodiscard]] DayPlan plan(int day) const;
 
   /// Per-profile flow count and byte sampling.
   int flows_per_session(TrafficProfile p);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,14 @@ struct DayPlan {
 
 /// The all-defaults plan: what a day without timeline events behaves like.
 inline constexpr DayPlan kStaticDayPlan{};
+
+/// Lazy day-plan provider: the simulator calls it once at the start of each
+/// simulated day. Must be a pure function of the day index — the engine's
+/// replay guarantees (lane count / sampling order can never change a run)
+/// hold only for deterministic providers. Keeping plans as a function keeps
+/// timeline memory O(lanes x days) instead of materializing
+/// residences x days DayPlan entries up front.
+using DayPlanFn = std::function<DayPlan(int day)>;
 
 struct ResidenceConfig {
   std::string name;
@@ -77,6 +86,12 @@ struct ResidenceConfig {
   /// empty = static behaviour for the whole horizon. Days past the end of
   /// the vector also fall back to the static configuration.
   std::vector<DayPlan> day_plan;
+
+  /// Lazy alternative to `day_plan`: when set it takes precedence and is
+  /// consulted once per simulated day. engine::apply_timeline installs one
+  /// by default so a million-home, year-long fleet never materializes
+  /// residences x days plans.
+  DayPlanFn day_plan_fn;
 
   std::uint64_t seed = 1;
 };

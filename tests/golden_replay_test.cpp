@@ -89,6 +89,31 @@ TEST(GoldenReplay, BitIdenticalAcrossLanesAndMatchesGolden) {
   }
 }
 
+// Lazy day-plan evaluation (the engine default) and up-front materialized
+// plans are two routes to the same pure function; a full scenario run must
+// serialize byte-identically either way, at every lane count. One
+// timeline-heavy scenario suffices here — the plan layer itself is compared
+// cell by cell across all scenarios in timeline_test.
+TEST(GoldenReplay, LazyAndMaterializedPlansAreByteIdentical) {
+  auto catalog = nbv6::traffic::build_paper_catalog();
+  const std::string file =
+      nbv6::testutil::scenarios_dir() + "/nat64_migration.cfg";
+  auto cfg = nbv6::engine::FleetConfig::load(file);
+  ASSERT_TRUE(cfg.has_value());
+
+  const std::string lazy =
+      canonical_serialize(run_scenario(*cfg, catalog, 1));
+  ASSERT_FALSE(lazy.empty());
+  for (int lanes : {1, 4, 8}) {
+    auto run = run_scenario(*cfg, catalog, lanes,
+                            nbv6::engine::TimelinePlanMode::materialized);
+    std::string text = canonical_serialize(run);
+    EXPECT_EQ(text, lazy)
+        << "materialized plans at " << lanes << " lane(s) diverged from the "
+        << "lazy run:\n" << first_diff(text, lazy);
+  }
+}
+
 // Repeated serialization of one in-memory run must be a fixed point —
 // guards against the serializer itself consuming hidden state.
 TEST(GoldenReplay, SerializerIsPure) {

@@ -99,11 +99,12 @@ std::string scenario_stem(const std::string& path) {
 }
 
 ScenarioRun run_scenario(const engine::FleetConfig& cfg,
-                         const traffic::ServiceCatalog& catalog, int lanes) {
+                         const traffic::ServiceCatalog& catalog, int lanes,
+                         engine::TimelinePlanMode mode) {
   ScenarioRun run;
   run.cfg = cfg;
   engine::FleetEngine engine(catalog, lanes);
-  run.result = engine.run(cfg);  // sample + timeline + simulate
+  run.result = engine.run(cfg, mode);  // sample + timeline + simulate
   run.report = core::fleet_stats_report(run.result, engine.pool());
   // Pre/post panel over the horizon's halves: with timeline events this is
   // the before/after comparison; without, a self-check near the null.
@@ -131,6 +132,34 @@ std::string canonical_serialize(const ScenarioRun& run) {
          " he_failures=%" PRIu64 " outage_suppressed=%" PRIu64 "\n",
          totals.sessions, totals.flows, totals.skipped_invisible,
          totals.he_failures, totals.outage_suppressed);
+
+  // ---- day-resolved session stats -----------------------------------
+  // Fleet-level per-day rows in full (small: one per simulated day), the
+  // per-residence series folded to an FNV checksum like the other
+  // high-volume aggregates.
+  for (size_t d = 0; d < totals.daily.size(); ++d) {
+    const auto& ds = totals.daily[d];
+    append(out,
+           "day_stats day=%zu sessions=%" PRIu64 " he_failures=%" PRIu64
+           " outage_suppressed=%" PRIu64 "\n",
+           d, ds.sessions, ds.he_failures, ds.outage_suppressed);
+  }
+  {
+    Fnv fnv;
+    size_t entries = 0;
+    for (const auto& r : run.result.residences) {
+      for (size_t d = 0; d < r.stats.daily.size(); ++d) {
+        const auto& ds = r.stats.daily[d];
+        fnv.add(static_cast<std::uint64_t>(d));
+        fnv.add(ds.sessions);
+        fnv.add(ds.he_failures);
+        fnv.add(ds.outage_suppressed);
+        ++entries;
+      }
+    }
+    append(out, "residence_day_stats entries=%zu fnv=%016" PRIx64 "\n",
+           entries, fnv.h);
+  }
 
   // ---- fleet-level monitor state ------------------------------------
   const auto& fleet = run.result.fleet;

@@ -48,8 +48,14 @@ struct ScenarioRun {
   core::GroupComparison window_panel;
 };
 
-ScenarioRun run_scenario(const engine::FleetConfig& cfg,
-                         const traffic::ServiceCatalog& catalog, int lanes);
+/// `mode` selects how the timeline reaches the simulator: lazy per-day
+/// evaluation (the engine default) or up-front materialized plans. The two
+/// must serialize byte-identically — the parity the golden-replay suite
+/// pins.
+ScenarioRun run_scenario(
+    const engine::FleetConfig& cfg, const traffic::ServiceCatalog& catalog,
+    int lanes,
+    engine::TimelinePlanMode mode = engine::TimelinePlanMode::lazy);
 
 // ------------------------------------------------------------- serializer
 

@@ -11,6 +11,7 @@
 #include "core/fleet_analysis.h"
 #include "engine/fleet.h"
 #include "engine/timeline.h"
+#include "testutil.h"
 #include "traffic/service_catalog.h"
 
 namespace nbv6::engine {
@@ -84,6 +85,35 @@ TEST(TimelineParse, FleetConfigTimelineSection) {
   EXPECT_FALSE(FleetConfig::parse("timeline.nope = day=1\n"));
 }
 
+TEST(TimelineParse, RejectsEventsStartingPastTheHorizon) {
+  // An event whose window opens at or past the last simulated day can
+  // never fire: that is a scenario bug, not intent, and must fail loudly —
+  // wherever the `days` line sits relative to the event line.
+  EXPECT_FALSE(FleetConfig::parse("days = 30\n"
+                                  "timeline.outage = day=30\n"));
+  EXPECT_FALSE(FleetConfig::parse("timeline.outage = start=100 end=120\n"
+                                  "days = 30\n"));
+  EXPECT_FALSE(FleetConfig::parse("days = 30\n"
+                                  "timeline.nat64_migration = start=45\n"));
+  // The last in-horizon start day is fine, as are open-ended windows and
+  // windows whose tail runs past the horizon (evaluation clamps them).
+  EXPECT_TRUE(FleetConfig::parse("days = 30\n"
+                                 "timeline.outage = day=29\n"));
+  EXPECT_TRUE(FleetConfig::parse("days = 30\n"
+                                 "timeline.seasonal = amp=0.2\n"));
+  EXPECT_TRUE(FleetConfig::parse("days = 30\n"
+                                 "timeline.rollout_wave = start=10 end=90\n"));
+  // The default horizon (no `days` line) is validated the same way.
+  EXPECT_TRUE(FleetConfig::parse("timeline.outage = day=29\n"));
+  EXPECT_FALSE(FleetConfig::parse("timeline.outage = day=30\n"));
+
+  // Round trip: every committed scenario still parses under the rule.
+  for (const auto& file : nbv6::testutil::scenario_files()) {
+    SCOPED_TRACE(file);
+    EXPECT_TRUE(FleetConfig::load(file).has_value());
+  }
+}
+
 // -------------------------------------------------------------- purity
 
 TEST(TimelineDayStateTest, PureFunctionOfSeedIndexDay) {
@@ -147,14 +177,68 @@ TEST(TimelineApply, PrefixStableUnderPopulationGrowth) {
       *Timeline::parse_event("outage", "start=8 end=10 frac=0.4"));
 
   auto small = sample_fleet_detailed(cfg, catalog);
-  apply_timeline(small, cfg.timeline, cfg.seed, cfg.days);
+  apply_timeline(small, cfg.timeline, cfg.seed, cfg.days,
+                 TimelinePlanMode::materialized);
 
   cfg.residences = 40;
   auto big = sample_fleet_detailed(cfg, catalog);
-  apply_timeline(big, cfg.timeline, cfg.seed, cfg.days);
+  apply_timeline(big, cfg.timeline, cfg.seed, cfg.days,
+                 TimelinePlanMode::materialized);
+  // And the lazy providers for the grown population must agree day by day
+  // with the small population's materialized plans.
+  auto big_lazy = sample_fleet_detailed(cfg, catalog);
+  apply_timeline(big_lazy, cfg.timeline, cfg.seed, cfg.days);
 
-  for (size_t i = 0; i < small.configs.size(); ++i)
+  for (size_t i = 0; i < small.configs.size(); ++i) {
     EXPECT_EQ(small.configs[i].day_plan, big.configs[i].day_plan) << i;
+    ASSERT_TRUE(big_lazy.configs[i].day_plan_fn) << i;
+    for (int d = 0; d < cfg.days; ++d)
+      EXPECT_EQ(big_lazy.configs[i].day_plan_fn(d),
+                small.configs[i].day_plan[static_cast<size_t>(d)])
+          << "residence " << i << " day " << d;
+  }
+}
+
+TEST(TimelineApply, LazyMatchesMaterializedOnAllScenarios) {
+  // The lazy provider and the materialized vector are two routes to the
+  // same pure function; every committed scenario must agree on every
+  // (residence, day) cell. (Full-simulation byte-parity is pinned by the
+  // golden-replay suite; this covers the plan layer exhaustively and
+  // cheaply.)
+  auto catalog = traffic::build_paper_catalog();
+  for (const auto& file : nbv6::testutil::scenario_files()) {
+    SCOPED_TRACE(file);
+    auto cfg = FleetConfig::load(file);
+    ASSERT_TRUE(cfg.has_value());
+
+    auto lazy = sample_fleet_detailed(*cfg, catalog);
+    apply_timeline(lazy, cfg->timeline, cfg->seed, cfg->days,
+                   TimelinePlanMode::lazy);
+    auto mat = sample_fleet_detailed(*cfg, catalog);
+    apply_timeline(mat, cfg->timeline, cfg->seed, cfg->days,
+                   TimelinePlanMode::materialized);
+
+    if (cfg->timeline.empty()) {
+      // The static fast path: neither mode installs anything.
+      for (const auto& c : lazy.configs) {
+        EXPECT_TRUE(c.day_plan.empty());
+        EXPECT_FALSE(c.day_plan_fn);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < lazy.configs.size(); ++i) {
+      // The default path must not keep any residences x days allocation.
+      EXPECT_TRUE(lazy.configs[i].day_plan.empty()) << i;
+      ASSERT_TRUE(lazy.configs[i].day_plan_fn) << i;
+      EXPECT_FALSE(mat.configs[i].day_plan_fn) << i;
+      ASSERT_EQ(mat.configs[i].day_plan.size(),
+                static_cast<size_t>(cfg->days));
+      for (int d = 0; d < cfg->days; ++d)
+        EXPECT_EQ(lazy.configs[i].day_plan_fn(d),
+                  mat.configs[i].day_plan[static_cast<size_t>(d)])
+            << "residence " << i << " day " << d;
+    }
+  }
 }
 
 TEST(TimelineDayStateTest, ExtremeStartAndLenStayDefined) {
@@ -172,6 +256,33 @@ TEST(TimelineDayStateTest, ExtremeStartAndLenStayDefined) {
   }
 }
 
+TEST(TimelineApply, LazyFallsBackToStaticOutsideTheHorizon) {
+  // The materialized vector falls back to the static configuration for
+  // any day outside [0, days): the simulator's bounds check returns
+  // kStaticDayPlan. The lazy provider must match even when a config's
+  // horizon is later extended past the days given to apply_timeline —
+  // fired events must not leak into days the timeline never covered.
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 6;
+  cfg.days = 12;
+  cfg.seed = 31;
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("nat64_migration", "start=2 frac=1.0"));
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("seasonal", "amp=0.5 period=7"));
+
+  auto fleet = sample_fleet_detailed(cfg, catalog);
+  apply_timeline(fleet, cfg.timeline, cfg.seed, cfg.days);
+  for (const auto& c : fleet.configs) {
+    ASSERT_TRUE(c.day_plan_fn);
+    for (int day : {-1, cfg.days, cfg.days + 1, cfg.days + 300})
+      EXPECT_EQ(c.day_plan_fn(day), traffic::kStaticDayPlan) << day;
+    // Inside the horizon the migration is in force (frac=1.0, day 2+).
+    EXPECT_TRUE(c.day_plan_fn(cfg.days - 1).nat64);
+  }
+}
+
 TEST(TimelineApply, EmptyTimelineLeavesPlansEmpty) {
   auto catalog = traffic::build_paper_catalog();
   FleetConfig cfg;
@@ -179,7 +290,10 @@ TEST(TimelineApply, EmptyTimelineLeavesPlansEmpty) {
   cfg.days = 10;
   auto fleet = sample_fleet_detailed(cfg, catalog);
   apply_timeline(fleet, Timeline{}, cfg.seed, cfg.days);
-  for (const auto& c : fleet.configs) EXPECT_TRUE(c.day_plan.empty());
+  for (const auto& c : fleet.configs) {
+    EXPECT_TRUE(c.day_plan.empty());
+    EXPECT_FALSE(c.day_plan_fn);  // static fast path stays function-free
+  }
 }
 
 // ------------------------------------------------------------ behaviour
