@@ -1,0 +1,60 @@
+// fuzz_scenarios: standalone differential scenario fuzzer.
+//
+//   fuzz_scenarios [count] [base_seed] [outdir]
+//
+// Generates `count` scenarios (default 500) starting at `base_seed`
+// (default 1), runs the full differential battery on each (parse/render
+// round trip, lazy-vs-materialized plan cells, 1/4/8-lane byte-identical
+// replays, windowed metric finiteness), and exits non-zero if any
+// scenario fails. Failing configs are written to `outdir`
+// (default "fuzz-failures") as fail_<seed>.cfg next to a .err file with
+// the failure description — CI uploads that directory as an artifact, and
+// the .cfg file alone reproduces the failure under scenario_fuzz_test.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "engine/scenario_fuzz.h"
+#include "testutil.h"
+#include "traffic/service_catalog.h"
+
+int main(int argc, char** argv) {
+  using namespace nbv6;
+  const std::uint64_t count =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  const std::uint64_t base =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const std::string outdir = argc > 3 ? argv[3] : "fuzz-failures";
+
+  const auto catalog = traffic::build_paper_catalog();
+  std::uint64_t failures = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + i;
+    const std::string text = engine::generate_scenario_text(seed);
+    auto err = testutil::fuzz_check_scenario(text, catalog);
+    if (err) {
+      ++failures;
+      std::error_code ec;
+      std::filesystem::create_directories(outdir, ec);
+      const std::string stem = outdir + "/fail_" + std::to_string(seed);
+      testutil::write_file(stem + ".cfg", text);
+      testutil::write_file(stem + ".err", *err + "\n");
+      std::fprintf(stderr, "FAIL seed=%llu: %s\n",
+                   static_cast<unsigned long long>(seed), err->c_str());
+    }
+    if ((i + 1) % 50 == 0 || i + 1 == count)
+      std::fprintf(stderr, "fuzz_scenarios: %llu/%llu checked, %llu failed\n",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(failures));
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "fuzz_scenarios: %llu failing configs in %s/\n",
+                 static_cast<unsigned long long>(failures), outdir.c_str());
+    return 1;
+  }
+  std::printf("fuzz_scenarios: %llu scenarios, all invariants held\n",
+              static_cast<unsigned long long>(count));
+  return 0;
+}

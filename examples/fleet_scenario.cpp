@@ -52,13 +52,17 @@ int main(int argc, char** argv) {
 
   auto result = fleet.run(sampled);
   std::printf("simulated %llu sessions, %llu flows (%llu invisible, %llu HE "
-              "failures, %llu lost to outages)\n",
+              "failures, %llu lost to outages, %llu to dark services, %llu "
+              "to CGN exhaustion)\n",
               static_cast<unsigned long long>(result.totals.sessions),
               static_cast<unsigned long long>(result.totals.flows),
               static_cast<unsigned long long>(result.totals.skipped_invisible),
               static_cast<unsigned long long>(result.totals.he_failures),
               static_cast<unsigned long long>(
-                  result.totals.outage_suppressed));
+                  result.totals.outage_suppressed),
+              static_cast<unsigned long long>(
+                  result.totals.service_outage_failed),
+              static_cast<unsigned long long>(result.totals.cgn_failures));
 
   // The day-resolved view of the same counters: the fleet-wide failure
   // peak, usually the tail of whatever the timeline scheduled.

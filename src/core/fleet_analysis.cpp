@@ -48,6 +48,13 @@ double metric_value(const engine::ResidenceRun& run, FleetMetric m) {
       return static_cast<double>(run.stats.sessions) / 1e3;
     case FleetMetric::outage_suppressed_k:
       return static_cast<double>(run.stats.outage_suppressed) / 1e3;
+    case FleetMetric::service_outage_k:
+      return static_cast<double>(run.stats.service_outage_failed) / 1e3;
+    case FleetMetric::cgn_failure_rate:
+      return run.stats.sessions == 0
+                 ? kNan
+                 : static_cast<double>(run.stats.cgn_failures) /
+                       static_cast<double>(run.stats.sessions);
   }
   return kNan;
 }
@@ -122,6 +129,14 @@ double metric_value_window(const engine::ResidenceRun& run, FleetMetric m,
       return static_cast<double>(windowed_stats().sessions) / 1e3;
     case FleetMetric::outage_suppressed_k:
       return static_cast<double>(windowed_stats().outage_suppressed) / 1e3;
+    case FleetMetric::service_outage_k:
+      return static_cast<double>(windowed_stats().service_outage_failed) / 1e3;
+    case FleetMetric::cgn_failure_rate: {
+      const auto s = windowed_stats();
+      return s.sessions == 0 ? kNan
+                             : static_cast<double>(s.cgn_failures) /
+                                   static_cast<double>(s.sessions);
+    }
   }
   return kNan;
 }
@@ -142,6 +157,7 @@ bool is_fraction_metric(FleetMetric m) {
     case FleetMetric::v6_flow_fraction:
     case FleetMetric::daily_v6_byte_fraction:
     case FleetMetric::he_failure_rate:
+    case FleetMetric::cgn_failure_rate:
       return true;
     default:
       return false;
@@ -161,6 +177,8 @@ const char* to_string(FleetMetric m) {
     case FleetMetric::he_failure_rate: return "he_failure_rate";
     case FleetMetric::sessions_k: return "sessions_k";
     case FleetMetric::outage_suppressed_k: return "outage_suppressed_k";
+    case FleetMetric::service_outage_k: return "service_outage_k";
+    case FleetMetric::cgn_failure_rate: return "cgn_failure_rate";
   }
   return "?";
 }

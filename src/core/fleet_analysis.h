@@ -40,6 +40,8 @@ enum class FleetMetric {
   he_failure_rate,         ///< Happy Eyeballs failures per session
   sessions_k,              ///< sessions attempted, thousands
   outage_suppressed_k,     ///< sessions lost to outage days, thousands
+  service_outage_k,        ///< sessions lost to per-service outages, thousands
+  cgn_failure_rate,        ///< CGN port-budget failures per session
 };
 
 const char* to_string(FleetMetric m);

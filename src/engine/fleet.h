@@ -79,10 +79,17 @@ struct FleetConfig {
   /// or past the horizon (start_day >= days — it could never fire).
   /// "timeline.<kind>" keys are the one exception to the duplicate rule:
   /// each occurrence appends one event, in file order (ordering is part of
-  /// the deterministic derivation).
-  static std::optional<FleetConfig> parse(std::string_view text);
-  /// Load from a file via parse(). nullopt if unreadable or invalid.
-  static std::optional<FleetConfig> load(const std::string& path);
+  /// the deterministic derivation). On failure, a non-null `error` receives
+  /// a one-line "line N: ..." message naming the offending key or token —
+  /// nothing is ever silently ignored.
+  static std::optional<FleetConfig> parse(std::string_view text,
+                                          std::string* error = nullptr);
+  /// Load from a file via parse(). nullopt if unreadable or invalid; the
+  /// optional `error` distinguishes the two.
+  static std::optional<FleetConfig> load(const std::string& path,
+                                         std::string* error = nullptr);
+
+  friend bool operator==(const FleetConfig&, const FleetConfig&) = default;
 };
 
 /// Which population strata a sampled residence fell into — the group

@@ -61,8 +61,19 @@ void ThreadPool::parallel_for(std::size_t count,
     std::atomic<int> lanes_done{0};
     std::mutex m;
     std::condition_variable done;
+    std::exception_ptr error;  ///< first throw from any lane, guarded by m
   };
   auto batch = std::make_shared<Batch>();
+
+  // Record a lane's throw (first one wins) and stop handing out tickets so
+  // the remaining lanes drain quickly instead of finishing the batch.
+  auto capture = [batch, count](std::exception_ptr e) {
+    {
+      std::lock_guard lock(batch->m);
+      if (!batch->error) batch->error = std::move(e);
+    }
+    batch->next.store(count, std::memory_order_relaxed);
+  };
 
   auto lane = [batch, count, &fn] {
     for (;;) {
@@ -72,12 +83,19 @@ void ThreadPool::parallel_for(std::size_t count,
     }
   };
 
-  // The caller is one lane; pool workers add up to count-1 more.
+  // The caller is one lane; pool workers add up to count-1 more. Worker
+  // lanes must never let an exception reach worker_loop (an unwound pool
+  // thread would terminate the process); they capture it for the caller to
+  // rethrow instead.
   const int extra = static_cast<int>(
       std::min<std::size_t>(workers_.size(), count - 1));
   for (int w = 0; w < extra; ++w) {
-    submit([batch, lane] {
-      lane();
+    submit([batch, lane, capture] {
+      try {
+        lane();
+      } catch (...) {
+        capture(std::current_exception());
+      }
       {
         std::lock_guard lock(batch->m);
         batch->lanes_done.fetch_add(1, std::memory_order_relaxed);
@@ -87,14 +105,11 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   // Run the caller's lane, but never unwind past the wait: the submitted
   // tasks reference `fn` and caller-owned state, so they must all drain
-  // before this frame can die — even when fn throws here (a throw inside
-  // a pool worker still terminates, as ~thread would).
-  std::exception_ptr error;
+  // before this frame can die — even when fn throws.
   try {
     lane();
   } catch (...) {
-    error = std::current_exception();
-    batch->next.store(count, std::memory_order_relaxed);  // stop new tickets
+    capture(std::current_exception());
   }
 
   // Wait for the extra lanes; each increments lanes_done exactly once.
@@ -103,7 +118,8 @@ void ThreadPool::parallel_for(std::size_t count,
     batch->done.wait(lock,
                      [&] { return batch->lanes_done.load() == extra; });
   }
-  if (error) std::rethrow_exception(error);
+  // All lanes have drained: the pool is reusable and batch state is stable.
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace nbv6::engine

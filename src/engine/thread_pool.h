@@ -42,6 +42,10 @@ class ThreadPool {
   /// via an atomic ticket, so skewed per-index costs (a heavy-streamer
   /// residence next to a vacant one) still balance. The calling thread
   /// participates, so a pool of size 1 plus the caller runs two lanes.
+  /// Exception-safe: if fn throws on any lane (worker or caller), ticket
+  /// hand-out stops, every lane drains, and the first exception is rethrown
+  /// on the caller after the batch completes — the pool stays usable.
+  /// Iterations already claimed when the throw lands still run.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -55,28 +55,71 @@ const char* to_string(TimelineEventKind k) {
     case TimelineEventKind::outage: return "outage";
     case TimelineEventKind::nat64_migration: return "nat64_migration";
     case TimelineEventKind::seasonal: return "seasonal";
+    case TimelineEventKind::prefix_renumber: return "prefix_renumber";
+    case TimelineEventKind::service_outage: return "service_outage";
+    case TimelineEventKind::cgn_exhaustion: return "cgn_exhaustion";
+    case TimelineEventKind::device_turnover: return "device_turnover";
   }
   return "?";
 }
 
+namespace {
+
+/// Fill `*error` (when non-null) with "<what> '<token>'"-style context;
+/// every rejection names the offending token so config mistakes are
+/// diagnosable from the message alone.
+std::nullopt_t fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return std::nullopt;
+}
+
+std::string quoted(std::string_view s) {
+  return "'" + std::string(s) + "'";
+}
+
+}  // namespace
+
 std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
-                                                   std::string_view spec) {
+                                                   std::string_view spec,
+                                                   std::string* error) {
   TimelineEvent ev;
   if (kind == "rollout_wave") ev.kind = TimelineEventKind::rollout_wave;
   else if (kind == "cpe_fix") ev.kind = TimelineEventKind::cpe_fix;
   else if (kind == "outage") ev.kind = TimelineEventKind::outage;
   else if (kind == "nat64_migration") ev.kind = TimelineEventKind::nat64_migration;
   else if (kind == "seasonal") ev.kind = TimelineEventKind::seasonal;
-  else return std::nullopt;
+  else if (kind == "prefix_renumber") ev.kind = TimelineEventKind::prefix_renumber;
+  else if (kind == "service_outage") ev.kind = TimelineEventKind::service_outage;
+  else if (kind == "cgn_exhaustion") ev.kind = TimelineEventKind::cgn_exhaustion;
+  else if (kind == "device_turnover") ev.kind = TimelineEventKind::device_turnover;
+  else
+    return fail(error, "unknown timeline event kind " + quoted(kind));
 
   const bool is_seasonal = ev.kind == TimelineEventKind::seasonal;
-  const bool is_outage = ev.kind == TimelineEventKind::outage;
+  const bool takes_len = ev.kind == TimelineEventKind::outage ||
+                         ev.kind == TimelineEventKind::service_outage;
+  const bool is_service = ev.kind == TimelineEventKind::service_outage;
+  const bool is_cgn = ev.kind == TimelineEventKind::cgn_exhaustion;
+  const bool is_turnover = ev.kind == TimelineEventKind::device_turnover;
   bool have_end = false;
+
+  auto bad_value = [&](std::string_view key, std::string_view val) {
+    return fail(error, "invalid value " + quoted(val) + " for event key " +
+                           quoted(key));
+  };
+  auto wrong_kind = [&](std::string_view key) {
+    return fail(error, "event key " + quoted(key) + " not valid for kind " +
+                           quoted(kind));
+  };
+  auto duplicate = [&](std::string_view key) {
+    return fail(error, "duplicate event key " + quoted(key));
+  };
 
   // Whitespace-separated k=v tokens; every key at most once.
   bool seen_day = false, seen_start = false, seen_end = false,
        seen_frac = false, seen_amp = false, seen_period = false,
-       seen_len = false;
+       seen_len = false, seen_svc = false, seen_ports = false,
+       seen_rate = false;
   size_t pos = 0;
   while (pos < spec.size()) {
     while (pos < spec.size() &&
@@ -89,58 +132,95 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
     pos = end;
 
     size_t eq = tok.find('=');
-    if (eq == std::string_view::npos) return std::nullopt;
+    if (eq == std::string_view::npos)
+      return fail(error, "malformed token " + quoted(tok) +
+                             " (expected key=value)");
     std::string_view key = tok.substr(0, eq);
     std::string_view val = tok.substr(eq + 1);
 
     if (key == "day") {
-      if (seen_day || seen_start || seen_end) return std::nullopt;
+      if (seen_day) return duplicate(key);
+      if (seen_start || seen_end)
+        return fail(error, "'day' conflicts with 'start'/'end'");
       seen_day = true;
       int d = 0;
-      if (!cfgparse::parse_int(val, d) || d < 0) return std::nullopt;
+      if (!cfgparse::parse_int(val, d) || d < 0) return bad_value(key, val);
       ev.start_day = ev.end_day = d;
       have_end = true;
     } else if (key == "start") {
-      if (seen_day || seen_start) return std::nullopt;
+      if (seen_start) return duplicate(key);
+      if (seen_day) return fail(error, "'start' conflicts with 'day'");
       seen_start = true;
       if (!cfgparse::parse_int(val, ev.start_day) || ev.start_day < 0)
-        return std::nullopt;
+        return bad_value(key, val);
     } else if (key == "end") {
-      if (seen_day || seen_end) return std::nullopt;
+      if (seen_end) return duplicate(key);
+      if (seen_day) return fail(error, "'end' conflicts with 'day'");
       seen_end = true;
       if (!cfgparse::parse_int(val, ev.end_day) || ev.end_day < 0)
-        return std::nullopt;
+        return bad_value(key, val);
       have_end = true;
     } else if (key == "frac") {
-      if (seen_frac) return std::nullopt;
+      if (seen_frac) return duplicate(key);
       seen_frac = true;
       if (!cfgparse::parse_double(val, ev.fraction) || ev.fraction < 0.0 ||
           ev.fraction > 1.0)
-        return std::nullopt;
+        return bad_value(key, val);
     } else if (key == "amp") {
-      if (seen_amp || !is_seasonal) return std::nullopt;
+      if (!is_seasonal) return wrong_kind(key);
+      if (seen_amp) return duplicate(key);
       seen_amp = true;
       if (!cfgparse::parse_double(val, ev.amplitude) || ev.amplitude < 0.0 ||
           ev.amplitude > 1.0)
-        return std::nullopt;
+        return bad_value(key, val);
     } else if (key == "period") {
-      if (seen_period || !is_seasonal) return std::nullopt;
+      if (!is_seasonal) return wrong_kind(key);
+      if (seen_period) return duplicate(key);
       seen_period = true;
       if (!cfgparse::parse_int(val, ev.period_days) || ev.period_days < 1)
-        return std::nullopt;
+        return bad_value(key, val);
     } else if (key == "len") {
-      if (seen_len || !is_outage) return std::nullopt;
+      if (!takes_len) return wrong_kind(key);
+      if (seen_len) return duplicate(key);
       seen_len = true;
       if (!cfgparse::parse_int(val, ev.duration_days) || ev.duration_days < 1)
-        return std::nullopt;
+        return bad_value(key, val);
+    } else if (key == "svc") {
+      if (!is_service) return wrong_kind(key);
+      if (seen_svc) return duplicate(key);
+      seen_svc = true;
+      // The day-state service mask is 64 bits wide; indices must fit it.
+      if (!cfgparse::parse_int(val, ev.service) || ev.service < 0 ||
+          ev.service > 63)
+        return bad_value(key, val);
+    } else if (key == "ports") {
+      if (!is_cgn) return wrong_kind(key);
+      if (seen_ports) return duplicate(key);
+      seen_ports = true;
+      if (!cfgparse::parse_int(val, ev.port_budget) || ev.port_budget < 0)
+        return bad_value(key, val);
+    } else if (key == "rate") {
+      if (!is_turnover) return wrong_kind(key);
+      if (seen_rate) return duplicate(key);
+      seen_rate = true;
+      if (!cfgparse::parse_double(val, ev.turnover_rate) ||
+          ev.turnover_rate < 0.0 || ev.turnover_rate > 1.0)
+        return bad_value(key, val);
     } else {
-      return std::nullopt;
+      return fail(error, "unknown event key " + quoted(key));
     }
   }
 
+  if (is_service && !seen_svc)
+    return fail(error, "'svc' is required for service_outage");
+  if (is_cgn && !seen_ports)
+    return fail(error, "'ports' is required for cgn_exhaustion");
+
   // A window event with no end runs to the horizon.
   if (!have_end) ev.end_day = std::numeric_limits<int>::max();
-  if (ev.end_day < ev.start_day) return std::nullopt;
+  if (ev.end_day < ev.start_day)
+    return fail(error, "event window end " + std::to_string(ev.end_day) +
+                           " precedes start " + std::to_string(ev.start_day));
   return ev;
 }
 
@@ -240,6 +320,46 @@ TimelineDayState day_state_from_draws(const Timeline& tl,
                                  static_cast<double>(period));
         }
         break;
+      case TimelineEventKind::prefix_renumber:
+        // Each rotation is permanent; overlapping renumber events stack one
+        // epoch each, in event order, so the epoch is reproducible for any
+        // subset of events landing by `day`.
+        if (day >= d.day) ++s.prefix_epoch;
+        break;
+      case TimelineEventKind::service_outage:
+        if (ev.duration_days > 0) {
+          if (day >= d.day &&
+              day < static_cast<long long>(d.day) + ev.duration_days)
+            s.service_down_mask |= 1ull << ev.service;
+        } else if (day >= ev.start_day &&
+                   day <= std::max(ev.start_day,
+                                   std::min(ev.end_day, days - 1))) {
+          s.service_down_mask |= 1ull << ev.service;
+        }
+        break;
+      case TimelineEventKind::cgn_exhaustion:
+        if (day >= ev.start_day &&
+            day <= std::max(ev.start_day, std::min(ev.end_day, days - 1))) {
+          s.cgn_port_budget = s.cgn_port_budget < 0
+                                  ? ev.port_budget
+                                  : std::min(s.cgn_port_budget, ev.port_budget);
+        }
+        break;
+      case TimelineEventKind::device_turnover: {
+        if (day < ev.start_day) break;
+        // Linear ramp across the clamped window, holding at the window's
+        // terminal value afterwards (replaced devices stay replaced).
+        const int wend =
+            std::max(ev.start_day, std::min(ev.end_day, days - 1));
+        const double span = static_cast<double>(wend - ev.start_day + 1);
+        double progress =
+            static_cast<double>(std::min(day, wend) - ev.start_day + 1) / span;
+        const double uplift = ev.turnover_rate * progress;
+        // Concurrent turnover events compose as independent repairs of the
+        // remaining broken share, so the composite stays inside [0, 1].
+        s.v6_ok_uplift = 1.0 - (1.0 - s.v6_ok_uplift) * (1.0 - uplift);
+        break;
+      }
     }
   }
   return s;
@@ -248,14 +368,19 @@ TimelineDayState day_state_from_draws(const Timeline& tl,
 /// TimelineDayState -> the traffic layer's DayPlan for one residence. The
 /// single conversion both plan modes share, so lazy and materialized paths
 /// cannot drift apart. `static_internal_v6_frac` is the residence's sampled
-/// internal_v6_frac (the value negative plan fields fall back to).
+/// internal_v6_frac and `static_device_v6_ok_frac` its sampled
+/// device_v6_ok_frac (the values negative plan fields fall back to).
 traffic::DayPlan day_plan_from_state(const TimelineDayState& s,
                                      const ResidenceTraits& base,
-                                     double static_internal_v6_frac) {
+                                     double static_internal_v6_frac,
+                                     double static_device_v6_ok_frac) {
   traffic::DayPlan p;
   p.activity_mult = s.activity_mult;
   p.outage = s.outage;
   p.nat64 = s.nat64;
+  p.prefix_epoch = s.prefix_epoch;
+  p.service_down_mask = s.service_down_mask;
+  p.cgn_port_budget = s.cgn_port_budget;
   // Effective device/internal IPv6 for the day. Negative values mean
   // "keep the sampled static config"; only genuine state changes are
   // materialized so a no-op event leaves the plan at defaults.
@@ -272,6 +397,14 @@ traffic::DayPlan day_plan_from_state(const TimelineDayState& s,
     // a LAN that starts using it.
     p.device_v6_ok_frac = 1.0;
     p.internal_v6_frac = std::max(static_internal_v6_frac, 0.75);
+  }
+  // Device turnover closes part of the remaining broken-device gap. Only
+  // homes with delegated IPv6 feel it — a fresh device without a prefix is
+  // still v4-only on the WAN.
+  if (s.v6_ok_uplift > 0.0 && s.isp_v6) {
+    const double eff = p.device_v6_ok_frac >= 0.0 ? p.device_v6_ok_frac
+                                                  : static_device_v6_ok_frac;
+    p.device_v6_ok_frac = eff + (1.0 - eff) * s.v6_ok_uplift;
   }
   return p;
 }
@@ -310,7 +443,8 @@ void apply_timeline(SampledFleet& fleet, const Timeline& tl,
     if (mode == TimelinePlanMode::lazy) {
       cfg.day_plan.clear();
       cfg.day_plan_fn = [shared_tl, draws = std::move(draws), base, days,
-                         internal_v6 = cfg.internal_v6_frac](int day) {
+                         internal_v6 = cfg.internal_v6_frac,
+                         device_v6 = cfg.device_v6_ok_frac](int day) {
         // Outside the horizon the materialized vector falls back to the
         // static configuration (the day_plan.size() bounds check); the
         // lazy provider must match or the two modes diverge whenever a
@@ -318,7 +452,7 @@ void apply_timeline(SampledFleet& fleet, const Timeline& tl,
         if (day < 0 || day >= days) return traffic::kStaticDayPlan;
         return day_plan_from_state(
             day_state_from_draws(*shared_tl, draws, day, days, base), base,
-            internal_v6);
+            internal_v6, device_v6);
       };
       continue;
     }
@@ -329,7 +463,7 @@ void apply_timeline(SampledFleet& fleet, const Timeline& tl,
     for (int day = 0; day < days; ++day)
       cfg.day_plan[static_cast<size_t>(day)] = day_plan_from_state(
           day_state_from_draws(tl, draws, day, days, base), base,
-          cfg.internal_v6_frac);
+          cfg.internal_v6_frac, cfg.device_v6_ok_frac);
   }
 }
 

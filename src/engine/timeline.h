@@ -58,6 +58,30 @@ enum class TimelineEventKind {
   /// multiplied by 1 + amplitude * sin(2*pi*(day - start_day)/period_days)
   /// inside the window. Multiple seasonal events compose multiplicatively.
   seasonal,
+  /// ISP prefix renumbering: each affected home's delegated /56 rotates on
+  /// its own uniformly-drawn day inside the window and stays rotated — LAN
+  /// devices renumber, so every v6 flow after the rotation carries fresh
+  /// source prefixes (churning downstream CryptoPAN prefix caches). Multiple
+  /// renumber events compose: each adds one epoch after its drawn day.
+  prefix_renumber,
+  /// Per-service outage: one catalog service (`svc=` index) becomes
+  /// unreachable for affected homes — sessions to it fail while every other
+  /// service works. With len == 0 the service is down for the whole window;
+  /// with len > 0 each affected home gets its own len-day outage starting
+  /// on a uniformly-drawn day inside the window.
+  service_outage,
+  /// CGN port-pool exhaustion: inside the window, affected homes' IPv4 WAN
+  /// sessions share a per-day translation-port budget (`ports=`). Once a
+  /// day's budget is spent, further v4 sessions fail; IPv6 traffic is
+  /// untouched. Overlapping events take the tightest budget.
+  cgn_exhaustion,
+  /// Device-fleet turnover drift: affected homes gradually replace devices
+  /// with broken IPv6. The working-IPv6 probability ramps linearly from its
+  /// static value toward full health across the window — `rate` is the
+  /// share of the broken gap closed by the window's end — and the
+  /// replacement persists afterwards. Only homes with delegated IPv6 feel
+  /// it (a new device without a prefix is still v4-only).
+  device_turnover,
 };
 
 const char* to_string(TimelineEventKind k);
@@ -75,8 +99,17 @@ struct TimelineEvent {
   double amplitude = 0.3;
   /// seasonal only: full sine period in days; 0 selects 364 (annual).
   int period_days = 0;
-  /// outage only: per-residence outage length; 0 = whole window for all.
+  /// outage / service_outage: per-residence outage length; 0 = whole
+  /// window for all.
   int duration_days = 0;
+  /// service_outage only: catalog service index in [0, 63] (required).
+  int service = -1;
+  /// cgn_exhaustion only: per-day v4 translation-port budget, >= 0
+  /// (required; 0 is legal and means no v4 WAN capacity at all).
+  int port_budget = -1;
+  /// device_turnover only: share of the broken-IPv6 gap closed by the
+  /// window's end, in [0, 1].
+  double turnover_rate = 1.0;
 
   friend bool operator==(const TimelineEvent&, const TimelineEvent&) = default;
 };
@@ -91,12 +124,17 @@ struct Timeline {
 
   /// Parse one event spec: `kind` is the text after "timeline." in the
   /// config key ("rollout_wave", "cpe_fix", "outage", "nat64_migration",
-  /// "seasonal"); `spec` is the value — whitespace-separated k=v pairs
-  /// over keys {day, start, end, frac, amp, period, len}. `day=N` is
-  /// shorthand for `start=N end=N`. Unknown keys, values outside their
-  /// documented ranges, NaN/inf, and end < start all fail the parse.
+  /// "seasonal", "prefix_renumber", "service_outage", "cgn_exhaustion",
+  /// "device_turnover"); `spec` is the value — whitespace-separated k=v
+  /// pairs over keys {day, start, end, frac, amp, period, len, svc, ports,
+  /// rate}. `day=N` is shorthand for `start=N end=N`. Unknown kinds,
+  /// unknown or kind-inapplicable keys, values outside their documented
+  /// ranges, NaN/inf, and end < start all fail the parse; when `error` is
+  /// non-null it receives a one-line description naming the offending
+  /// token (never silently ignored).
   static std::optional<TimelineEvent> parse_event(std::string_view kind,
-                                                  std::string_view spec);
+                                                  std::string_view spec,
+                                                  std::string* error = nullptr);
 
   friend bool operator==(const Timeline&, const Timeline&) = default;
 };
@@ -110,6 +148,17 @@ struct TimelineDayState {
   bool outage = false;       ///< external connectivity down this day
   bool nat64 = false;        ///< behind a v6-only (NAT64) access network
   double activity_mult = 1.0;  ///< seasonal interactive-activity multiplier
+  /// Delegated-prefix generation: 0 until a prefix_renumber event lands,
+  /// +1 per landed rotation. Changes every LAN v6 source prefix.
+  int prefix_epoch = 0;
+  /// Bit s set = catalog service s is unreachable this day.
+  std::uint64_t service_down_mask = 0;
+  /// Per-day v4 CGN port budget; -1 = unconstrained. Overlapping
+  /// cgn_exhaustion events take the minimum.
+  int cgn_port_budget = -1;
+  /// Share of the broken-IPv6 device gap closed by turnover so far, in
+  /// [0, 1]; concurrent turnover events compose as independent repairs.
+  double v6_ok_uplift = 0.0;
 
   friend bool operator==(const TimelineDayState&,
                          const TimelineDayState&) = default;

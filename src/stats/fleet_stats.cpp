@@ -141,11 +141,16 @@ void StreamingCdf::add(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+bool StreamingCdf::compatible_with(const StreamingCdf& other) const {
+  return other.lo_ == lo_ && other.width_ == width_ &&
+         other.bins_.size() == bins_.size();
+}
+
 void StreamingCdf::merge(const StreamingCdf& other) {
   // Mismatched layouts would add counts across incompatible bin widths —
-  // silently wrong in Release builds — so this is a hard error too.
-  if (other.lo_ != lo_ || other.width_ != width_ ||
-      other.bins_.size() != bins_.size())
+  // silently wrong in Release builds — so this is a hard error too. Thrown
+  // before any mutation: a failed merge leaves *this exactly as it was.
+  if (!compatible_with(other))
     throw std::invalid_argument(
         "StreamingCdf::merge: accumulators must share (lo, hi, bins)");
   if (other.count_ == 0) return;

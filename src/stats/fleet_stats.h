@@ -78,8 +78,14 @@ class StreamingCdf {
   void add(double x);
   void add(std::span<const double> xs);
 
+  /// True when `other` shares this accumulator's exact bin layout
+  /// (lo, hi, bins) — the precondition merge() enforces. Lets shard
+  /// reducers validate before merging instead of catching.
+  [[nodiscard]] bool compatible_with(const StreamingCdf& other) const;
+
   /// Fold another accumulator in. Both must share (lo, hi, bins); a
-  /// mismatched layout throws std::invalid_argument.
+  /// mismatched layout throws std::invalid_argument and leaves this
+  /// accumulator untouched (strong guarantee — no counts are corrupted).
   void merge(const StreamingCdf& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }

@@ -88,13 +88,18 @@ double ResidenceSimulator::presence(int day, int hour) const {
   return p;
 }
 
-net::IpAddr ResidenceSimulator::device_addr(int device,
-                                            net::Family family) const {
+net::IpAddr ResidenceSimulator::device_addr(int device, net::Family family,
+                                            int prefix_epoch) const {
   if (family == net::Family::v4)
     return net::IPv4Addr(192, 168, 1, static_cast<std::uint8_t>(10 + device));
-  // Each residence holds a delegated /56-ish slice of 2600:8800::/32.
-  std::uint64_t hi =
-      (0x2600'8800ull << 32) | (static_cast<std::uint64_t>(residence_id_) << 8);
+  // Each residence holds a delegated /56-ish slice of 2600:8800::/32. A
+  // prefix_renumber epoch rotates the slice deterministically — epoch 0 is
+  // the original delegation, each later epoch a fresh /56 nothing upstream
+  // has cached.
+  std::uint64_t slice =
+      static_cast<std::uint64_t>(residence_id_) +
+      0x9E37ull * static_cast<std::uint64_t>(prefix_epoch);
+  std::uint64_t hi = (0x2600'8800ull << 32) | ((slice & 0xFFFFFFull) << 8);
   return net::IPv6Addr::from_halves(hi,
                                     static_cast<std::uint64_t>(10 + device));
 }
@@ -174,6 +179,14 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
   }
   ++stats_.sessions;
 
+  // Per-service outage: the destination itself is down, every family. The
+  // mask is 64 bits wide; the parser caps svc indices accordingly.
+  if (service_idx < 64 &&
+      ((day.service_down_mask >> service_idx) & 1ull) != 0) {
+    ++stats_.service_outage_failed;
+    return;
+  }
+
   const Service& svc = catalog_->at(service_idx);
   int device = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
   const double v6_ok_frac = day.device_v6_ok_frac >= 0.0
@@ -233,11 +246,26 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
                            : rng_.chance(0.1);
 
   int nflows = flows_per_session(svc.profile);
+
+  // CGN port-pool exhaustion: every v4 WAN flow consumes one translation
+  // port for the day. A session whose flows would overrun the budget fails
+  // outright (the translator refuses new bindings); IPv6 is untouched. The
+  // losing-HE duplicate flow below is deliberately not charged — it never
+  // completes a binding.
+  if (!via_v6 && day.cgn_port_budget >= 0) {
+    if (cgn_ports_used_ + nflows > day.cgn_port_budget) {
+      ++stats_.cgn_failures;
+      return;
+    }
+    cgn_ports_used_ += nflows;
+  }
+
   for (int i = 0; i < nflows; ++i) {
     FlowSpec spec = sample_flow(svc.profile);
     net::FlowKey key;
     key.protocol = use_udp ? net::Protocol::udp : net::Protocol::tcp;
-    key.src = device_addr(device, via_v6 ? net::Family::v6 : net::Family::v4);
+    key.src = device_addr(device, via_v6 ? net::Family::v6 : net::Family::v4,
+                          day.prefix_epoch);
     key.dst = dst;
     key.src_port = next_port();
     key.dst_port = 443;
@@ -259,7 +287,7 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
       key.src = device_addr(device, net::Family::v4);
       key.dst = ep.v4;
     } else if (ep.v6) {
-      key.src = device_addr(device, net::Family::v6);
+      key.src = device_addr(device, net::Family::v6, day.prefix_epoch);
       key.dst = *ep.v6;
     } else {
       return;
@@ -285,8 +313,10 @@ void ResidenceSimulator::run_internal(Table& table, Timestamp t,
   bool v6 = rng_.chance(v6_frac);
   net::FlowKey key;
   key.protocol = rng_.chance(0.5) ? net::Protocol::udp : net::Protocol::tcp;
-  key.src = device_addr(a, v6 ? net::Family::v6 : net::Family::v4);
-  key.dst = device_addr(b, v6 ? net::Family::v6 : net::Family::v4);
+  key.src = device_addr(a, v6 ? net::Family::v6 : net::Family::v4,
+                        day.prefix_epoch);
+  key.dst = device_addr(b, v6 ? net::Family::v6 : net::Family::v4,
+                        day.prefix_epoch);
   key.src_port = next_port();
   key.dst_port = rng_.chance(0.4) ? 5353 : 445;  // mDNS / SMB-ish mix
 
@@ -362,14 +392,19 @@ SimulationStats ResidenceSimulator::run(Table& table) {
     // The plan is a pure function of the day; one evaluation governs all
     // 24 hours (and keeps lazy providers out of the hour loop).
     const DayPlan today = plan(day);
+    cgn_ports_used_ = 0;  // the CGN translator recycles bindings overnight
     const DaySessionStats before{stats_.sessions, stats_.he_failures,
-                                 stats_.outage_suppressed};
+                                 stats_.outage_suppressed,
+                                 stats_.service_outage_failed,
+                                 stats_.cgn_failures};
     for (int hour = 0; hour < 24; ++hour)
       simulate_hour(table, day, hour, today);
     stats_.daily[static_cast<size_t>(day)] = {
         stats_.sessions - before.sessions,
         stats_.he_failures - before.he_failures,
-        stats_.outage_suppressed - before.outage_suppressed};
+        stats_.outage_suppressed - before.outage_suppressed,
+        stats_.service_outage_failed - before.service_outage_failed,
+        stats_.cgn_failures - before.cgn_failures};
   }
   table.flush(static_cast<Timestamp>(cfg_.days) * flowmon::kSecondsPerDay);
   return stats_;

@@ -33,11 +33,15 @@ struct DaySessionStats {
   std::uint64_t sessions = 0;
   std::uint64_t he_failures = 0;
   std::uint64_t outage_suppressed = 0;
+  std::uint64_t service_outage_failed = 0;  ///< per-service outage rejections
+  std::uint64_t cgn_failures = 0;           ///< v4 sessions over the CGN budget
 
   DaySessionStats& operator+=(const DaySessionStats& o) {
     sessions += o.sessions;
     he_failures += o.he_failures;
     outage_suppressed += o.outage_suppressed;
+    service_outage_failed += o.service_outage_failed;
+    cgn_failures += o.cgn_failures;
     return *this;
   }
   friend bool operator==(const DaySessionStats&,
@@ -50,9 +54,14 @@ struct SimulationStats {
   std::uint64_t skipped_invisible = 0;  ///< sessions lost to opt-out routers
   std::uint64_t he_failures = 0;        ///< Happy Eyeballs total failures
   std::uint64_t outage_suppressed = 0;  ///< sessions lost to outage days
+  /// Sessions rejected by a per-service outage (service_outage events).
+  std::uint64_t service_outage_failed = 0;
+  /// v4 sessions rejected above the day's CGN port budget (cgn_exhaustion).
+  std::uint64_t cgn_failures = 0;
   /// Entry d = day d's slice of the counters above (sessions, he_failures,
-  /// outage_suppressed sum to the horizon totals). Sized to the simulated
-  /// horizon by ResidenceSimulator::run.
+  /// outage_suppressed, service_outage_failed, cgn_failures sum to the
+  /// horizon totals). Sized to the simulated horizon by
+  /// ResidenceSimulator::run.
   std::vector<DaySessionStats> daily;
 
   /// Fold another run's counters into this one (the fleet reduction).
@@ -64,6 +73,8 @@ struct SimulationStats {
     skipped_invisible += o.skipped_invisible;
     he_failures += o.he_failures;
     outage_suppressed += o.outage_suppressed;
+    service_outage_failed += o.service_outage_failed;
+    cgn_failures += o.cgn_failures;
     if (daily.size() < o.daily.size()) daily.resize(o.daily.size());
     for (size_t d = 0; d < o.daily.size(); ++d) daily[d] += o.daily[d];
     return *this;
@@ -110,7 +121,8 @@ class ResidenceSimulator {
   int flows_per_session(TrafficProfile p);
   FlowSpec sample_flow(TrafficProfile p);
 
-  net::IpAddr device_addr(int device, net::Family family) const;
+  net::IpAddr device_addr(int device, net::Family family,
+                          int prefix_epoch = 0) const;
   std::uint16_t next_port() { return static_cast<std::uint16_t>(20000 + (port_counter_++ % 40000)); }
 
   const ServiceCatalog* catalog_;
@@ -122,6 +134,9 @@ class ResidenceSimulator {
   int device_count_;
   std::uint32_t residence_id_;
   std::uint64_t port_counter_ = 0;
+  /// v4 WAN flows opened so far in the current simulated day, charged
+  /// against DayPlan::cgn_port_budget; reset at each day boundary by run().
+  std::int64_t cgn_ports_used_ = 0;
 };
 
 }  // namespace nbv6::traffic

@@ -35,6 +35,16 @@ struct DayPlan {
   /// v4-only destinations via 64:ff9b::/96 translation; devices whose
   /// IPv6 is broken have no connectivity.
   bool nat64 = false;
+  /// Delegated-prefix generation (prefix_renumber events): 0 = the original
+  /// /56; each increment rotates every LAN v6 source address.
+  int prefix_epoch = 0;
+  /// Bit s set = catalog service s is unreachable this day (service_outage
+  /// events). Sessions to a down service fail after the visibility check.
+  std::uint64_t service_down_mask = 0;
+  /// Per-day CGN translation-port budget for v4 WAN flows; < 0 means
+  /// unconstrained (cgn_exhaustion events). Once a day's v4 flows exhaust
+  /// the budget, further v4 sessions fail.
+  int cgn_port_budget = -1;
 
   friend bool operator==(const DayPlan&, const DayPlan&) = default;
 };

@@ -6,6 +6,9 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/client_analysis.h"
@@ -46,6 +49,37 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     });
     EXPECT_EQ(sum.load(), 64 * 63 / 2);
   }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLaneExceptionsOnTheCaller) {
+  ThreadPool pool(4);
+  // A throw from any lane — worker or caller — must surface on the caller
+  // after the batch drains, and the pool must stay usable.
+  std::atomic<int> ran{0};
+  auto throwing = [&](size_t i) {
+    if (i == 37) throw std::runtime_error("lane 37 exploded");
+    ran.fetch_add(1);
+  };
+  EXPECT_THROW(pool.parallel_for(100, throwing), std::runtime_error);
+  // Ticket hand-out stops on the throw, so not every index runs — but none
+  // runs twice, and the count is sane.
+  EXPECT_LE(ran.load(), 99);
+
+  // Index 0 throws: with two lanes, the caller often observes a
+  // worker-thrown exception (pre-fix this terminated the process).
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [](size_t i) {
+                            if (i == 0) throw std::runtime_error("first");
+                          }),
+        std::runtime_error);
+  }
+
+  // The pool is fully reusable after exceptional batches.
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
 }
 
 // ------------------------------------------------------ scenario layer
@@ -133,6 +167,37 @@ TEST(FleetConfigParse, RoundTripsTimelineKeys) {
       *Timeline::parse_event("nat64_migration", "start=30 end=39 frac=0.35"),
   };
   EXPECT_EQ(cfg->timeline, expected);
+}
+
+TEST(FleetConfigParse, ErrorMessagesCarryLineAndToken) {
+  auto msg = [](std::string_view text) {
+    std::string error;
+    EXPECT_FALSE(FleetConfig::parse(text, &error).has_value()) << text;
+    return error;
+  };
+  EXPECT_EQ(msg("days = 7\nno_such_knob = 1\n"),
+            "line 2: unknown key 'no_such_knob'");
+  EXPECT_EQ(msg("days = banana\n"),
+            "line 1: invalid value 'banana' for key 'days'");
+  EXPECT_EQ(msg("days = 7\n\ndays = 8\n"), "line 3: duplicate key 'days'");
+  EXPECT_EQ(msg("just a line\n"), "line 1: missing '=' in 'just a line'");
+  // Timeline rejections carry the full key plus the event parser's message.
+  EXPECT_EQ(msg("timeline.nope = day=1\n"),
+            "line 1: timeline.nope: unknown timeline event kind 'nope'");
+  EXPECT_EQ(msg("days = 9\ntimeline.outage = banana=3\n"),
+            "line 2: timeline.outage: unknown event key 'banana'");
+  // Horizon violations name the event's own line, wherever `days` sits.
+  EXPECT_EQ(msg("timeline.outage = day=50\ndays = 30\n"),
+            "line 1: timeline.outage: window starts on day 50, at or past "
+            "the 30-day horizon");
+  // Post-loop validation failures are line-less but still specific.
+  EXPECT_EQ(msg("residences = 0\n"), "residences must be >= 1 (got 0)");
+  EXPECT_EQ(msg("activity_scale_min = 5\nactivity_scale_max = 2\n"),
+            "activity_scale_min exceeds activity_scale_max");
+  // Success leaves the error buffer untouched.
+  std::string error = "sentinel";
+  EXPECT_TRUE(FleetConfig::parse("days = 7\n", &error).has_value());
+  EXPECT_EQ(error, "sentinel");
 }
 
 TEST(SampleFleet, DeterministicPerSeedAndIndex) {

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -298,6 +300,39 @@ TEST(StreamingCdf, InvalidLayoutsThrow) {
   stats::StreamingCdf wrong_bins(0.0, 1.0, 16);
   EXPECT_THROW(a.merge(wrong_range), std::invalid_argument);
   EXPECT_THROW(a.merge(wrong_bins), std::invalid_argument);
+}
+
+TEST(StreamingCdf, RejectedMergeLeavesTheTargetUntouched) {
+  // The layout guard gives the strong exception guarantee: after a caught
+  // mismatch the target accumulator must be bit-for-bit what it was before
+  // — no half-merged bins, no polluted moments.
+  stats::StreamingCdf acc(0.0, 1.0, 8);
+  acc.add(0.25);
+  acc.add(0.75);
+  acc.add(2.0);  // clamps into the top bin, extreme survives
+  const auto count_before = acc.count();
+  const double mean_before = acc.mean();
+  const double max_before = acc.max();
+  std::vector<std::uint64_t> bins_before;
+  for (std::size_t b = 0; b < 8; ++b) bins_before.push_back(acc.bin_count(b));
+
+  stats::StreamingCdf incompatible(0.0, 2.0, 8);
+  incompatible.add(1.5);
+  EXPECT_FALSE(acc.compatible_with(incompatible));
+  EXPECT_THROW(acc.merge(incompatible), std::invalid_argument);
+
+  EXPECT_EQ(acc.count(), count_before);
+  EXPECT_DOUBLE_EQ(acc.mean(), mean_before);
+  EXPECT_DOUBLE_EQ(acc.max(), max_before);
+  for (std::size_t b = 0; b < 8; ++b)
+    EXPECT_EQ(acc.bin_count(b), bins_before[b]) << "bin " << b;
+
+  // A compatible merge still works after the rejection.
+  stats::StreamingCdf ok(0.0, 1.0, 8);
+  ok.add(0.5);
+  EXPECT_TRUE(acc.compatible_with(ok));
+  acc.merge(ok);
+  EXPECT_EQ(acc.count(), count_before + 1);
 }
 
 TEST(StreamingCdf, HugeAndInfiniteValuesClampSafely) {

@@ -114,6 +114,36 @@ TEST(GoldenReplay, LazyAndMaterializedPlansAreByteIdentical) {
   }
 }
 
+// `--update` hygiene: regenerating a golden must be idempotent. Two fully
+// independent runs of the same scenario (fresh config load, fresh engine,
+// fresh serialization) must produce identical bytes — if they don't, any
+// golden produced by --update is a coin flip and the whole conformance
+// suite is built on sand. This is stronger than SerializerIsPure below,
+// which only re-serializes one in-memory run.
+TEST(GoldenReplay, UpdateIsIdempotentAcrossIndependentRuns) {
+  auto catalog = nbv6::traffic::build_paper_catalog();
+  auto files = nbv6::testutil::scenario_files();
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    const std::string stem = nbv6::testutil::scenario_stem(file);
+    SCOPED_TRACE(stem);
+    std::string first;
+    for (int pass = 0; pass < 2; ++pass) {
+      auto cfg = nbv6::engine::FleetConfig::load(file);
+      ASSERT_TRUE(cfg.has_value());
+      std::string text = canonical_serialize(run_scenario(*cfg, catalog, 4));
+      if (pass == 0) {
+        first = std::move(text);
+        ASSERT_FALSE(first.empty());
+      } else {
+        EXPECT_EQ(text, first)
+            << "two independent runs of " << stem << " diverged:\n"
+            << first_diff(text, first);
+      }
+    }
+  }
+}
+
 // Repeated serialization of one in-memory run must be a fixed point —
 // guards against the serializer itself consuming hidden state.
 TEST(GoldenReplay, SerializerIsPure) {

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
+
+#include "engine/scenario_fuzz.h"
 
 namespace nbv6::testutil {
 
@@ -129,9 +132,11 @@ std::string canonical_serialize(const ScenarioRun& run) {
   const auto& totals = run.result.totals;
   append(out,
          "totals sessions=%" PRIu64 " flows=%" PRIu64 " invisible=%" PRIu64
-         " he_failures=%" PRIu64 " outage_suppressed=%" PRIu64 "\n",
+         " he_failures=%" PRIu64 " outage_suppressed=%" PRIu64
+         " service_outage=%" PRIu64 " cgn_failures=%" PRIu64 "\n",
          totals.sessions, totals.flows, totals.skipped_invisible,
-         totals.he_failures, totals.outage_suppressed);
+         totals.he_failures, totals.outage_suppressed,
+         totals.service_outage_failed, totals.cgn_failures);
 
   // ---- day-resolved session stats -----------------------------------
   // Fleet-level per-day rows in full (small: one per simulated day), the
@@ -141,8 +146,10 @@ std::string canonical_serialize(const ScenarioRun& run) {
     const auto& ds = totals.daily[d];
     append(out,
            "day_stats day=%zu sessions=%" PRIu64 " he_failures=%" PRIu64
-           " outage_suppressed=%" PRIu64 "\n",
-           d, ds.sessions, ds.he_failures, ds.outage_suppressed);
+           " outage_suppressed=%" PRIu64 " service_outage=%" PRIu64
+           " cgn_failures=%" PRIu64 "\n",
+           d, ds.sessions, ds.he_failures, ds.outage_suppressed,
+           ds.service_outage_failed, ds.cgn_failures);
   }
   {
     Fnv fnv;
@@ -154,6 +161,8 @@ std::string canonical_serialize(const ScenarioRun& run) {
         fnv.add(ds.sessions);
         fnv.add(ds.he_failures);
         fnv.add(ds.outage_suppressed);
+        fnv.add(ds.service_outage_failed);
+        fnv.add(ds.cgn_failures);
         ++entries;
       }
     }
@@ -211,12 +220,14 @@ std::string canonical_serialize(const ScenarioRun& run) {
     const auto& t = run.result.traits[i];
     append(out,
            "residence %zu name=%s sessions=%" PRIu64 " flows=%" PRIu64
-           " he=%" PRIu64 " outage=%" PRIu64 " ext_v4b=%" PRIu64
+           " he=%" PRIu64 " outage=%" PRIu64 " svc_outage=%" PRIu64
+           " cgn=%" PRIu64 " ext_v4b=%" PRIu64
            " ext_v6b=%" PRIu64 " ext_v4f=%" PRIu64 " ext_v6f=%" PRIu64
            " int_b=%" PRIu64
            " traits=ds:%d,broken:%d,streamer:%d,vacant:%d,opt:%d,abs:%d\n",
            i, r.config.name.c_str(), r.stats.sessions, r.stats.flows,
-           r.stats.he_failures, r.stats.outage_suppressed, ext.v4.bytes,
+           r.stats.he_failures, r.stats.outage_suppressed,
+           r.stats.service_outage_failed, r.stats.cgn_failures, ext.v4.bytes,
            ext.v6.bytes, ext.v4.flows, ext.v6.flows, internal.total_bytes(),
            t.dual_stack_isp ? 1 : 0, t.broken_v6 ? 1 : 0,
            t.heavy_streamer ? 1 : 0, t.vacant ? 1 : 0, t.opt_out ? 1 : 0,
@@ -257,6 +268,99 @@ std::string canonical_serialize(const ScenarioRun& run) {
     out += '\n';
   }
   return out;
+}
+
+std::optional<std::string> fuzz_check_scenario(
+    const std::string& text, const traffic::ServiceCatalog& catalog) {
+  if (auto err = engine::check_parse_round_trip(text))
+    return "round-trip: " + *err;
+
+  std::string parse_error;
+  auto cfg = engine::FleetConfig::parse(text, &parse_error);
+  if (!cfg) return "parse: " + parse_error;  // unreachable after round-trip
+
+  if (auto err = engine::check_plan_parity(*cfg, catalog))
+    return "plan-parity: " + *err;
+
+  // Lane-count invariance and lazy/materialized simulation parity, both
+  // stated as byte equality of the canonical serialization.
+  const ScenarioRun base = run_scenario(*cfg, catalog, 1);
+  const std::string base_text = canonical_serialize(base);
+  for (int lanes : {4, 8}) {
+    const std::string other =
+        canonical_serialize(run_scenario(*cfg, catalog, lanes));
+    if (other != base_text)
+      return "lane-parity: 1-lane vs " + std::to_string(lanes) +
+             "-lane serializations differ\n" + first_diff(base_text, other);
+  }
+  {
+    const std::string mat = canonical_serialize(run_scenario(
+        *cfg, catalog, 1, engine::TimelinePlanMode::materialized));
+    if (mat != base_text)
+      return "mode-parity: lazy vs materialized serializations differ\n" +
+             first_diff(base_text, mat);
+  }
+
+  // Windowed metric finiteness. Count/sum metrics must be real numbers on
+  // any window that intersects the horizon; rate/fraction metrics may be
+  // NaN (undefined: nothing happened) but never infinite.
+  const core::FleetMetric kAllMetrics[] = {
+      core::FleetMetric::v6_byte_fraction,
+      core::FleetMetric::v6_flow_fraction,
+      core::FleetMetric::daily_v6_byte_fraction,
+      core::FleetMetric::external_gb,
+      core::FleetMetric::external_flows_k,
+      core::FleetMetric::internal_gb,
+      core::FleetMetric::he_failure_rate,
+      core::FleetMetric::sessions_k,
+      core::FleetMetric::outage_suppressed_k,
+      core::FleetMetric::service_outage_k,
+      core::FleetMetric::cgn_failure_rate,
+  };
+  auto is_sum_metric = [](core::FleetMetric m) {
+    switch (m) {
+      case core::FleetMetric::external_gb:
+      case core::FleetMetric::external_flows_k:
+      case core::FleetMetric::internal_gb:
+      case core::FleetMetric::sessions_k:
+      case core::FleetMetric::outage_suppressed_k:
+      case core::FleetMetric::service_outage_k:
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  const int days = cfg->days;
+  std::vector<core::DayWindow> windows;
+  windows.push_back({0, days - 1});
+  if (days >= 2) {
+    windows.push_back({0, days / 2 - 1});
+    windows.push_back({days / 2, days - 1});
+  }
+  for (int d : {0, days / 2, days - 1}) windows.push_back({d, d});
+  for (const auto& ev : cfg->timeline.events) {
+    const int first = std::clamp(ev.start_day, 0, days - 1);
+    const int last = std::clamp(ev.end_day, first, days - 1);
+    windows.push_back({first, last});
+  }
+
+  for (const auto& w : windows) {
+    const auto matrix =
+        core::extract_metrics(base.result, kAllMetrics, w, nullptr);
+    for (size_t m = 0; m < matrix.metrics.size(); ++m) {
+      for (size_t i = 0; i < matrix.values[m].size(); ++i) {
+        const double v = matrix.values[m][i];
+        if (std::isinf(v) ||
+            (std::isnan(v) && is_sum_metric(matrix.metrics[m])))
+          return std::string("window-finiteness: metric ") +
+                 core::to_string(matrix.metrics[m]) + " residence " +
+                 std::to_string(i) + " window [" + std::to_string(w.first) +
+                 ", " + std::to_string(w.last) + "] = " + std::to_string(v);
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> read_file(const std::string& path) {

@@ -67,6 +67,24 @@ ScenarioRun run_scenario(
 /// lane counts must be byte-identical.
 std::string canonical_serialize(const ScenarioRun& run);
 
+// ------------------------------------------------------- fuzz differential
+
+/// The full differential check the scenario fuzzer runs on one generated
+/// config text, in order:
+///   1. parse -> render -> reparse round trip (engine::check_parse_round_trip)
+///   2. lazy vs materialized day plans, cell by cell (engine::check_plan_parity)
+///   3. byte-identical canonical serializations across 1/4/8-lane replays
+///      and across lazy vs materialized simulation of the 1-lane run
+///   4. windowed extract_metrics finiteness: over the full horizon, both
+///      halves, first/middle/last single days, and every event's clamped
+///      window, no metric may be +-inf, and count/sum metrics (sessions_k,
+///      external_gb, ...) may not be NaN either — only rate/fraction
+///      metrics may be undefined when a window saw no traffic.
+/// nullopt when every check passes; otherwise a description of the first
+/// failure, prefixed with the stage that caught it.
+std::optional<std::string> fuzz_check_scenario(
+    const std::string& text, const traffic::ServiceCatalog& catalog);
+
 // ------------------------------------------------------------------- io
 
 std::optional<std::string> read_file(const std::string& path);

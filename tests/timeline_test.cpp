@@ -431,6 +431,227 @@ TEST(TimelineBehaviour, SeasonalScalesActivityUpAndDown) {
   EXPECT_LT(damp, 0.9);
 }
 
+// ------------------------------------------- adversarial event kinds
+
+TEST(TimelineParse, AdversarialKindsParseWithTheirKeys) {
+  auto renum = Timeline::parse_event("prefix_renumber", "start=5 end=20 frac=0.5");
+  ASSERT_TRUE(renum.has_value());
+  EXPECT_EQ(renum->kind, TimelineEventKind::prefix_renumber);
+
+  auto svc = Timeline::parse_event("service_outage", "start=3 end=9 svc=7 len=2");
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->service, 7);
+  EXPECT_EQ(svc->duration_days, 2);
+
+  auto cgn = Timeline::parse_event("cgn_exhaustion", "day=4 ports=0");
+  ASSERT_TRUE(cgn.has_value());
+  EXPECT_EQ(cgn->port_budget, 0);  // zero budget is legal: no v4 WAN at all
+
+  auto turn = Timeline::parse_event("device_turnover", "start=0 end=9 rate=0.75");
+  ASSERT_TRUE(turn.has_value());
+  EXPECT_DOUBLE_EQ(turn->turnover_rate, 0.75);
+
+  // Required keys and kind-applicability.
+  EXPECT_FALSE(Timeline::parse_event("service_outage", "day=1").has_value());
+  EXPECT_FALSE(Timeline::parse_event("cgn_exhaustion", "day=1").has_value());
+  EXPECT_FALSE(Timeline::parse_event("service_outage", "day=1 svc=64").has_value());
+  EXPECT_FALSE(Timeline::parse_event("service_outage", "day=1 svc=-1").has_value());
+  EXPECT_FALSE(Timeline::parse_event("cgn_exhaustion", "day=1 ports=-5").has_value());
+  EXPECT_FALSE(Timeline::parse_event("device_turnover", "day=1 rate=1.5").has_value());
+  EXPECT_FALSE(Timeline::parse_event("prefix_renumber", "day=1 svc=3").has_value());
+  EXPECT_FALSE(Timeline::parse_event("cgn_exhaustion", "day=1 ports=10 len=2").has_value());
+}
+
+TEST(TimelineParse, ErrorMessagesNameTheOffendingToken) {
+  auto msg = [](std::string_view kind, std::string_view spec) {
+    std::string error;
+    EXPECT_FALSE(Timeline::parse_event(kind, spec, &error).has_value());
+    return error;
+  };
+  EXPECT_NE(msg("comet_strike", "day=3").find("unknown timeline event kind "
+                                              "'comet_strike'"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "banana=3").find("unknown event key 'banana'"),
+            std::string::npos);
+  EXPECT_NE(msg("rollout_wave", "amp=0.5").find("not valid for kind "
+                                                "'rollout_wave'"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "start=1 start=2").find("duplicate event key "
+                                                  "'start'"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "frac=1.5").find("invalid value '1.5' for event "
+                                           "key 'frac'"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "start=9 end=3").find("precedes"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "start").find("malformed token 'start'"),
+            std::string::npos);
+  EXPECT_NE(msg("service_outage", "day=1").find("'svc' is required"),
+            std::string::npos);
+  EXPECT_NE(msg("cgn_exhaustion", "day=1").find("'ports' is required"),
+            std::string::npos);
+  EXPECT_NE(msg("outage", "day=3 start=1").find("conflicts"),
+            std::string::npos);
+}
+
+TEST(TimelineDayStateTest, PrefixRenumberStacksEpochsPermanently) {
+  Timeline tl;
+  tl.events.push_back(*Timeline::parse_event("prefix_renumber", "day=5"));
+  tl.events.push_back(*Timeline::parse_event("prefix_renumber", "day=10"));
+  ResidenceTraits base;
+  base.dual_stack_isp = true;
+  for (int index = 0; index < 8; ++index) {
+    int prev = 0;
+    for (int day = 0; day < 20; ++day) {
+      auto s = timeline_day_state(tl, 99, index, day, 20, base);
+      EXPECT_GE(s.prefix_epoch, prev) << "epoch rolled back";
+      prev = s.prefix_epoch;
+      if (day < 5) EXPECT_EQ(s.prefix_epoch, 0);
+      if (day >= 10) EXPECT_EQ(s.prefix_epoch, 2);  // both rotations landed
+    }
+  }
+}
+
+TEST(TimelineDayStateTest, CgnBudgetTakesTheMinimumOfOverlappingEvents) {
+  Timeline tl;
+  tl.events.push_back(
+      *Timeline::parse_event("cgn_exhaustion", "start=2 end=10 ports=500"));
+  tl.events.push_back(
+      *Timeline::parse_event("cgn_exhaustion", "start=5 end=7 ports=100"));
+  ResidenceTraits base;
+  for (int day = 0; day < 14; ++day) {
+    auto s = timeline_day_state(tl, 7, 0, day, 14, base);
+    if (day < 2 || day > 10) {
+      EXPECT_EQ(s.cgn_port_budget, -1) << "day " << day;
+    } else if (day >= 5 && day <= 7) {
+      EXPECT_EQ(s.cgn_port_budget, 100) << "day " << day;
+    } else {
+      EXPECT_EQ(s.cgn_port_budget, 500) << "day " << day;
+    }
+  }
+}
+
+TEST(TimelineDayStateTest, DeviceTurnoverRampsAndPersists) {
+  Timeline tl;
+  tl.events.push_back(
+      *Timeline::parse_event("device_turnover", "start=4 end=7 rate=0.8"));
+  ResidenceTraits base;
+  base.dual_stack_isp = true;
+  double prev = 0.0;
+  for (int day = 0; day < 12; ++day) {
+    auto s = timeline_day_state(tl, 3, 0, day, 12, base);
+    EXPECT_GE(s.v6_ok_uplift, 0.0);
+    EXPECT_LE(s.v6_ok_uplift, 1.0);
+    if (day < 4) {
+      EXPECT_EQ(s.v6_ok_uplift, 0.0) << "day " << day;
+    } else {
+      EXPECT_GE(s.v6_ok_uplift, prev) << "uplift must never regress";
+    }
+    prev = s.v6_ok_uplift;
+  }
+  // Terminal value: the full rate by the window's end, held afterwards.
+  auto end_state = timeline_day_state(tl, 3, 0, 7, 12, base);
+  auto after = timeline_day_state(tl, 3, 0, 11, 12, base);
+  EXPECT_DOUBLE_EQ(end_state.v6_ok_uplift, 0.8);
+  EXPECT_DOUBLE_EQ(after.v6_ok_uplift, 0.8);
+}
+
+TEST(TimelineApply, DayPlanCarriesAdversarialState) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 6;
+  cfg.days = 12;
+  cfg.seed = 21;
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("prefix_renumber", "day=3"));
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("service_outage", "start=4 end=8 svc=2"));
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("cgn_exhaustion", "start=6 end=9 ports=40"));
+
+  auto fleet = sample_fleet_detailed(cfg, catalog);
+  apply_timeline(fleet, cfg.timeline, cfg.seed, cfg.days);
+  for (const auto& rc : fleet.configs) {
+    ASSERT_TRUE(static_cast<bool>(rc.day_plan_fn));
+    EXPECT_EQ(rc.day_plan_fn(0).prefix_epoch, 0);
+    EXPECT_EQ(rc.day_plan_fn(11).prefix_epoch, 1);
+    EXPECT_EQ(rc.day_plan_fn(5).service_down_mask, std::uint64_t{1} << 2);
+    EXPECT_EQ(rc.day_plan_fn(0).service_down_mask, 0u);
+    EXPECT_EQ(rc.day_plan_fn(7).cgn_port_budget, 40);
+    EXPECT_EQ(rc.day_plan_fn(0).cgn_port_budget, -1);
+  }
+}
+
+TEST(TimelineBehaviour, ServiceOutageRejectsSessionsInWindowOnly) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 16;
+  cfg.days = 12;
+  cfg.seed = 5;
+  // Popular service index 0 down for days 4..7 everywhere.
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("service_outage", "start=4 end=7 svc=0"));
+
+  FleetEngine engine(catalog, 2);
+  auto result = engine.run(cfg);
+  EXPECT_GT(result.totals.service_outage_failed, 0u);
+  EXPECT_GT(result.totals.flows, 0u);  // other services keep flowing
+  for (size_t d = 0; d < result.totals.daily.size(); ++d) {
+    if (d >= 4 && d <= 7) continue;
+    EXPECT_EQ(result.totals.daily[d].service_outage_failed, 0u)
+        << "failures outside the outage window on day " << d;
+  }
+  std::uint64_t in_window = 0;
+  for (size_t d = 4; d <= 7; ++d)
+    in_window += result.totals.daily[d].service_outage_failed;
+  EXPECT_EQ(in_window, result.totals.service_outage_failed);
+}
+
+TEST(TimelineBehaviour, CgnExhaustionFailsV4SessionsAboveBudget) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 16;
+  cfg.days = 10;
+  cfg.seed = 11;
+  cfg.dual_stack_isp_frac = 0.0;  // all-v4 fleet: every WAN session is CGN'd
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("cgn_exhaustion", "start=5 end=9 ports=10"));
+
+  FleetEngine engine(catalog, 2);
+  auto result = engine.run(cfg);
+  EXPECT_GT(result.totals.cgn_failures, 0u);
+  for (size_t d = 0; d < 5; ++d)
+    EXPECT_EQ(result.totals.daily[d].cgn_failures, 0u)
+        << "failures before the exhaustion window on day " << d;
+
+  // An unconstrained rerun has no CGN failures at all.
+  FleetConfig open = cfg;
+  open.timeline.events.clear();
+  auto baseline = engine.run(open);
+  EXPECT_EQ(baseline.totals.cgn_failures, 0u);
+}
+
+TEST(TimelineBehaviour, DeviceTurnoverRaisesV6UseInBrokenHomes) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 24;
+  cfg.days = 16;
+  cfg.seed = 13;
+  cfg.dual_stack_isp_frac = 1.0;
+  cfg.broken_v6_frac = 1.0;  // every home starts with flaky device IPv6
+  cfg.timeline.events.push_back(
+      *Timeline::parse_event("device_turnover", "start=8 end=15 rate=1"));
+
+  FleetEngine engine(catalog, 2);
+  auto result = engine.run(cfg);
+  auto metrics =
+      std::vector<core::FleetMetric>{core::FleetMetric::v6_byte_fraction};
+  auto panel = core::compare_windows(result, metrics, core::DayWindow{0, 7},
+                                     core::DayWindow{8, 15});
+  ASSERT_EQ(panel.rows.size(), 1u);
+  EXPECT_LT(panel.rows[0].median_a, panel.rows[0].median_b);
+}
+
 TEST(TimelineBehaviour, CpeFixHealsBrokenHomes) {
   auto catalog = traffic::build_paper_catalog();
   FleetConfig cfg;
