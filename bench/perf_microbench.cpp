@@ -4,7 +4,10 @@
 // on.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "dns/resolver.h"
+#include "engine/firehose.h"
 #include "engine/flat_conntrack.h"
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
@@ -12,6 +15,7 @@
 #include "net/cryptopan.h"
 #include "net/lpm_trie.h"
 #include "stats/fleet_stats.h"
+#include "stats/loess.h"
 #include "stats/rng.h"
 #include "stats/stl.h"
 #include "stats/wilcoxon.h"
@@ -187,6 +191,74 @@ void BM_MstlDecompose(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MstlDecompose)->Arg(24 * 30)->Arg(24 * 90)->Arg(24 * 365)->Unit(benchmark::kMillisecond);
+
+// The raw LOESS kernel on a unit-spaced series (the MSTL inner loop) —
+// tracks the multi-accumulator window regression directly, without the
+// decomposition machinery around it. Arg = series length.
+void BM_LoessUnit(benchmark::State& state) {
+  stats::Rng rng(6);
+  std::vector<double> ys(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < ys.size(); ++i)
+    ys[i] = std::sin(static_cast<double>(i) / 40.0) + rng.normal(0, 0.1);
+  std::vector<double> out(ys.size());
+  stats::LoessConfig cfg;
+  cfg.span_fraction = 0.1;
+  for (auto _ : state) {
+    stats::loess_unit_into(ys, cfg, {}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LoessUnit)->Arg(720)->Arg(8760);
+
+// v6 CryptoPAN over a flow-batch shaped address set: a few /64s repeated
+// many times, interleaved — exercises the sorted batch layout plus the
+// prefix cache. Counter = anonymized addresses per second.
+void BM_CryptoPanV6Batch(benchmark::State& state) {
+  net::CryptoPan::Secret secret{};
+  for (size_t i = 0; i < secret.size(); ++i)
+    secret[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  net::CryptoPan cp(secret);
+  stats::Rng rng(17);
+  std::vector<net::IPv6Addr> in;
+  std::vector<std::uint64_t> prefixes;
+  for (int p = 0; p < 12; ++p)
+    prefixes.push_back(0x20010DB800000000ull | rng());
+  for (int i = 0; i < 4096; ++i)
+    in.push_back(net::IPv6Addr::from_halves(
+        prefixes[rng.below(prefixes.size())], rng()));
+  std::vector<net::IPv6Addr> out(in.size());
+  for (auto _ : state) {
+    cp.anonymize_batch(in, out, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["addrs_per_sec"] = benchmark::Counter(
+      static_cast<double>(in.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CryptoPanV6Batch)->Unit(benchmark::kMicrosecond);
+
+// The headline path: a fleet streamed tick-by-tick through the firehose
+// into a counting sink, 4 lanes. Counter = flows per second (all-core).
+void BM_FirehoseStream(benchmark::State& state) {
+  engine::FleetConfig cfg;
+  cfg.residences = static_cast<int>(state.range(0));
+  cfg.days = 2;
+  cfg.seed = 21;
+  cfg.arrival.mode = traffic::ArrivalMode::poisson;
+  cfg.arrival.ticks_per_hour = 12;
+  auto catalog = traffic::build_paper_catalog();
+  engine::Firehose hose(catalog, 4);
+  std::uint64_t flows = 0;
+  for (auto _ : state) {
+    auto result = hose.run(cfg, [&](const engine::FlowEvent& ev) {
+      benchmark::DoNotOptimize(ev.bytes_out);
+    });
+    flows += result.flows;
+    benchmark::DoNotOptimize(result.flows);
+  }
+  state.counters["flows_per_sec"] = benchmark::Counter(
+      static_cast<double>(flows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FirehoseStream)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_WilcoxonExact(benchmark::State& state) {
   std::vector<double> d;

@@ -4,11 +4,14 @@
 # Usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]
 #
 # Runs the google-benchmark harness in JSON mode and writes the result to
-# <repo-root>/<out-name> (default BENCH_pr3.json). The file is committed at
+# <repo-root>/<out-name> (default BENCH_pr7.json). The file is committed at
 # the repo root as one point of the performance trajectory; each perf PR
-# adds BENCH_prN.json next to the previous points. When the previous
-# baseline (default BENCH_pr2.json) exists and python3 is available, a
-# regression table of common benchmarks is printed afterwards.
+# adds BENCH_prN.json next to the previous points. When a previous
+# baseline exists (default: the highest-numbered committed BENCH_pr*.json
+# other than the one being written) and python3 is available, a
+# regression table of common benchmarks is printed afterwards; benchmarks
+# new in this PR (firehose streaming, LOESS kernel, v6 batch CryptoPAN)
+# are listed separately since they have no prior point.
 #
 # With --check (or NBV6_BENCH_CHECK=1) the script exits non-zero when any
 # common benchmark regressed by more than 25% vs the previous baseline
@@ -29,16 +32,35 @@ fi
 
 BIN=${1:?usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
 ROOT=${2:?usage: run_baseline.sh [--check] <perf_microbench-binary> <repo-root> [out-name] [prev-name]}
-OUT=${3:-BENCH_pr3.json}
-PREV=${4:-BENCH_pr2.json}
+OUT=${3:-BENCH_pr7.json}
 
 # Gate runs (typically short smoke passes) must not clobber the committed
 # baseline: unless an out-name was given explicitly, a --check run writes
 # its JSON to a throwaway file instead of $ROOT/$OUT.
 OUT_PATH="$ROOT/$OUT"
+WRITES_BASELINE=1
 if [[ "$CHECK" == "1" && -z "${3:-}" ]]; then
   OUT_PATH=$(mktemp /tmp/nbv6-bench-check.XXXXXX.json)
+  WRITES_BASELINE=0
   trap 'rm -f "$OUT_PATH"' EXIT
+fi
+
+# Previous baseline: explicit 4th argument, else the highest-numbered
+# committed BENCH_pr*.json — excluding the file this run is about to
+# (re)write, so a baseline refresh compares against its predecessor while
+# a throwaway --check run gates against the newest committed point.
+if [[ -n "${4:-}" ]]; then
+  PREV=$4
+else
+  PREV=""
+  while IFS= read -r f; do
+    base=$(basename "$f")
+    if [[ "$WRITES_BASELINE" == "1" && "$base" == "$OUT" ]]; then
+      continue
+    fi
+    PREV=$base
+  done < <(ls "$ROOT"/BENCH_pr*.json 2>/dev/null | sort -V)
+  PREV=${PREV:-BENCH_pr2.json}
 fi
 
 if [[ "$CHECK" == "1" ]]; then

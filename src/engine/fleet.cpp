@@ -97,6 +97,11 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text,
     else if (key == "activity_scale_max")
       ok = parse_double(val, cfg.activity_scale_max) &&
            cfg.activity_scale_max >= 0.0;
+    else if (key == "arrival.mode")
+      ok = traffic::parse_arrival_mode(val, cfg.arrival.mode);
+    else if (key == "arrival.ticks_per_hour")
+      ok = parse_int(val, cfg.arrival.ticks_per_hour) &&
+           cfg.arrival.ticks_per_hour >= 1 && cfg.arrival.ticks_per_hour <= 3600;
     else  // unknown key: fail loudly, not silently
       return fail(at_line(line_no, "unknown key '" + std::string(key) + "'"));
     if (!ok)
@@ -164,6 +169,7 @@ SampledFleet sample_fleet_detailed(const FleetConfig& cfg,
     traffic::ResidenceConfig r;
     r.name = "R" + std::to_string(i);
     r.days = cfg.days;
+    r.arrival = cfg.arrival;
     r.seed = stats::splitmix64(state);  // simulator stream, distinct from sampler's
 
     ResidenceTraits t;

@@ -64,6 +64,14 @@ struct FleetConfig {
   double activity_scale_min = 1.0;
   double activity_scale_max = 9.5;
 
+  // ---- arrivals --------------------------------------------------------
+  /// How sessions land inside each simulated day: the original per-hour
+  /// batch (default, golden-pinned) or an open-loop tick-sliced arrival
+  /// process. Config keys: `arrival.mode = batch|poisson|uniform` and
+  /// `arrival.ticks_per_hour = N` (1..3600). Copied onto every sampled
+  /// ResidenceConfig by sample_fleet.
+  traffic::ArrivalConfig arrival;
+
   // ---- timeline --------------------------------------------------------
   /// Scheduled mid-observation changes (rollout waves, CPE fixes, outages,
   /// NAT64 migrations, seasonal scaling). Built from repeatable

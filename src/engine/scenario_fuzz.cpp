@@ -119,11 +119,26 @@ WindowSpec fuzz_window(stats::Rng& rng, int days, const std::string& sep) {
   return w;
 }
 
+/// Ramp/flash multiplier: boundary-biased inside the parser's (0, 16]
+/// range, but capped low enough that a max_events stack of multiplicative
+/// ramps cannot push per-tick arrival counts into fuzz-run-hostile
+/// territory (the day-state composition also clamps composites at 16).
+double fuzz_mult(stats::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return 16.0;   // the parse ceiling
+    case 1: return 1.0;    // a no-op ramp — must stay bit-transparent
+    case 2: return 0.0625; // strong ramp-down
+    case 3: return 2.0;
+    default: return rng.uniform(0.25, 4.0);
+  }
+}
+
 std::string fuzz_event_line(stats::Rng& rng, int days) {
   static constexpr const char* kKinds[] = {
       "rollout_wave",   "cpe_fix",        "outage",
       "nat64_migration", "seasonal",       "prefix_renumber",
-      "service_outage", "cgn_exhaustion", "device_turnover"};
+      "service_outage", "cgn_exhaustion", "device_turnover",
+      "lambda_ramp",    "flash_crowd"};
   const std::string kind = kKinds[rng.below(std::size(kKinds))];
   const std::string sep = fuzz_sep(rng);
   WindowSpec w = fuzz_window(rng, days, sep);
@@ -153,6 +168,13 @@ std::string fuzz_event_line(stats::Rng& rng, int days) {
     spec += sep + "ports=" + std::to_string(ports);
   } else if (kind == "device_turnover") {
     spec += sep + "rate=" + fmt_double(fuzz_fraction(rng));
+  } else if (kind == "lambda_ramp") {
+    spec += sep + "mult=" + fmt_double(fuzz_mult(rng));
+  } else if (kind == "flash_crowd") {
+    spec += sep + "hour=" + std::to_string(rng.below(24));
+    if (rng.chance(0.6))
+      spec += sep + "hours=" + std::to_string(rng.between(1, 24));
+    spec += sep + "mult=" + fmt_double(fuzz_mult(rng));
   }
   return "timeline." + kind + " = " + spec;
 }
@@ -192,6 +214,21 @@ std::string generate_scenario_text(std::uint64_t seed,
     lines.push_back({"activity_scale_min", fmt_double(lo)});
     lines.push_back({"activity_scale_max", fmt_double(hi)});
   }
+  if (rng.chance(0.5)) {
+    static constexpr const char* kModes[] = {"batch", "poisson", "uniform"};
+    lines.push_back({"arrival.mode",
+                     kModes[rng.below(std::size(kModes))]});
+    if (rng.chance(0.7)) {
+      // Mostly coarse ticks (the differential battery replays every
+      // scenario several times); 7 does not divide 3600, exercising the
+      // integer slot-boundary tiling; 60 occasionally for realism.
+      static constexpr int kTicks[] = {1, 2, 3, 4, 6, 7, 12};
+      int tph = rng.chance(0.15)
+                    ? 60
+                    : kTicks[rng.below(std::size(kTicks))];
+      lines.push_back({"arrival.ticks_per_hour", std::to_string(tph)});
+    }
+  }
   // Fisher-Yates with the scenario's own rng: key order is part of the
   // grammar surface being fuzzed.
   for (size_t i = lines.size(); i > 1; --i) {
@@ -225,6 +262,10 @@ std::string to_config_text(const FleetConfig& cfg) {
   out += "absence_prob = " + fmt_double(cfg.absence_prob) + "\n";
   out += "activity_scale_min = " + fmt_double(cfg.activity_scale_min) + "\n";
   out += "activity_scale_max = " + fmt_double(cfg.activity_scale_max) + "\n";
+  out += "arrival.mode = " +
+         std::string(traffic::to_string(cfg.arrival.mode)) + "\n";
+  out += "arrival.ticks_per_hour = " +
+         std::to_string(cfg.arrival.ticks_per_hour) + "\n";
   for (const auto& ev : cfg.timeline.events) {
     out += "timeline.";
     out += to_string(ev.kind);
@@ -258,6 +299,14 @@ std::string to_config_text(const FleetConfig& cfg) {
         break;
       case TimelineEventKind::device_turnover:
         out += " rate=" + fmt_double(ev.turnover_rate);
+        break;
+      case TimelineEventKind::lambda_ramp:
+        out += " mult=" + fmt_double(ev.mult);
+        break;
+      case TimelineEventKind::flash_crowd:
+        out += " hour=" + std::to_string(ev.hour) +
+               " hours=" + std::to_string(ev.hour_span) +
+               " mult=" + fmt_double(ev.mult);
         break;
       default:
         break;

@@ -59,6 +59,8 @@ const char* to_string(TimelineEventKind k) {
     case TimelineEventKind::service_outage: return "service_outage";
     case TimelineEventKind::cgn_exhaustion: return "cgn_exhaustion";
     case TimelineEventKind::device_turnover: return "device_turnover";
+    case TimelineEventKind::lambda_ramp: return "lambda_ramp";
+    case TimelineEventKind::flash_crowd: return "flash_crowd";
   }
   return "?";
 }
@@ -92,6 +94,8 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
   else if (kind == "service_outage") ev.kind = TimelineEventKind::service_outage;
   else if (kind == "cgn_exhaustion") ev.kind = TimelineEventKind::cgn_exhaustion;
   else if (kind == "device_turnover") ev.kind = TimelineEventKind::device_turnover;
+  else if (kind == "lambda_ramp") ev.kind = TimelineEventKind::lambda_ramp;
+  else if (kind == "flash_crowd") ev.kind = TimelineEventKind::flash_crowd;
   else
     return fail(error, "unknown timeline event kind " + quoted(kind));
 
@@ -101,6 +105,8 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
   const bool is_service = ev.kind == TimelineEventKind::service_outage;
   const bool is_cgn = ev.kind == TimelineEventKind::cgn_exhaustion;
   const bool is_turnover = ev.kind == TimelineEventKind::device_turnover;
+  const bool is_flash = ev.kind == TimelineEventKind::flash_crowd;
+  const bool takes_mult = is_flash || ev.kind == TimelineEventKind::lambda_ramp;
   bool have_end = false;
 
   auto bad_value = [&](std::string_view key, std::string_view val) {
@@ -119,7 +125,8 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
   bool seen_day = false, seen_start = false, seen_end = false,
        seen_frac = false, seen_amp = false, seen_period = false,
        seen_len = false, seen_svc = false, seen_ports = false,
-       seen_rate = false;
+       seen_rate = false, seen_mult = false, seen_hour = false,
+       seen_hours = false;
   size_t pos = 0;
   while (pos < spec.size()) {
     while (pos < spec.size() &&
@@ -206,6 +213,28 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
       if (!cfgparse::parse_double(val, ev.turnover_rate) ||
           ev.turnover_rate < 0.0 || ev.turnover_rate > 1.0)
         return bad_value(key, val);
+    } else if (key == "mult") {
+      if (!takes_mult) return wrong_kind(key);
+      if (seen_mult) return duplicate(key);
+      seen_mult = true;
+      // (0, 16]: the day-state composition clamps stacked multipliers to
+      // the same ceiling, so a single event never exceeds what a stack can.
+      if (!cfgparse::parse_double(val, ev.mult) || ev.mult <= 0.0 ||
+          ev.mult > 16.0)
+        return bad_value(key, val);
+    } else if (key == "hour") {
+      if (!is_flash) return wrong_kind(key);
+      if (seen_hour) return duplicate(key);
+      seen_hour = true;
+      if (!cfgparse::parse_int(val, ev.hour) || ev.hour < 0 || ev.hour > 23)
+        return bad_value(key, val);
+    } else if (key == "hours") {
+      if (!is_flash) return wrong_kind(key);
+      if (seen_hours) return duplicate(key);
+      seen_hours = true;
+      if (!cfgparse::parse_int(val, ev.hour_span) || ev.hour_span < 1 ||
+          ev.hour_span > 24)
+        return bad_value(key, val);
     } else {
       return fail(error, "unknown event key " + quoted(key));
     }
@@ -215,6 +244,11 @@ std::optional<TimelineEvent> Timeline::parse_event(std::string_view kind,
     return fail(error, "'svc' is required for service_outage");
   if (is_cgn && !seen_ports)
     return fail(error, "'ports' is required for cgn_exhaustion");
+  if (takes_mult && !seen_mult)
+    return fail(error, std::string("'mult' is required for ") +
+                           std::string(kind));
+  if (is_flash && !seen_hour)
+    return fail(error, "'hour' is required for flash_crowd");
 
   // A window event with no end runs to the horizon.
   if (!have_end) ev.end_day = std::numeric_limits<int>::max();
@@ -345,6 +379,32 @@ TimelineDayState day_state_from_draws(const Timeline& tl,
                                   : std::min(s.cgn_port_budget, ev.port_budget);
         }
         break;
+      case TimelineEventKind::lambda_ramp: {
+        if (day < ev.start_day) break;
+        // Linear ramp across the clamped window toward `mult`, holding at
+        // `mult` afterwards (same shape as device_turnover). Multiple
+        // ramps compose multiplicatively; see the clamp after the loop.
+        const int wend =
+            std::max(ev.start_day, std::min(ev.end_day, days - 1));
+        const double span = static_cast<double>(wend - ev.start_day + 1);
+        double progress =
+            static_cast<double>(std::min(day, wend) - ev.start_day + 1) / span;
+        s.lambda_mult *= 1.0 + (ev.mult - 1.0) * progress;
+        break;
+      }
+      case TimelineEventKind::flash_crowd:
+        if (day >= ev.start_day &&
+            day <= std::max(ev.start_day, std::min(ev.end_day, days - 1))) {
+          // The burst slots come from the event, not a per-home draw:
+          // every affected home spikes in the same hours. Slots past hour
+          // 23 are dropped (no wrap into the next day).
+          const int first = ev.hour;
+          const int last = std::min(first + ev.hour_span, 24);
+          for (int h = first; h < last; ++h)
+            s.flash_hour_mask |= 1u << h;
+          s.flash_mult *= ev.mult;
+        }
+        break;
       case TimelineEventKind::device_turnover: {
         if (day < ev.start_day) break;
         // Linear ramp across the clamped window, holding at the window's
@@ -362,6 +422,12 @@ TimelineDayState day_state_from_draws(const Timeline& tl,
       }
     }
   }
+  // Stacked ramps/crowds could grow without bound; clamp the composites to
+  // the single-event parse ceiling. std::clamp returns the value itself
+  // when in range, so un-modulated days keep their exact 1.0 (the batch
+  // bit-identity) and single events are never altered.
+  s.lambda_mult = std::clamp(s.lambda_mult, 1.0 / 16.0, 16.0);
+  s.flash_mult = std::clamp(s.flash_mult, 1.0 / 16.0, 16.0);
   return s;
 }
 
@@ -381,6 +447,9 @@ traffic::DayPlan day_plan_from_state(const TimelineDayState& s,
   p.prefix_epoch = s.prefix_epoch;
   p.service_down_mask = s.service_down_mask;
   p.cgn_port_budget = s.cgn_port_budget;
+  p.lambda_mult = s.lambda_mult;
+  p.flash_hour_mask = s.flash_hour_mask;
+  p.flash_mult = s.flash_mult;
   // Effective device/internal IPv6 for the day. Negative values mean
   // "keep the sampled static config"; only genuine state changes are
   // materialized so a no-op event leaves the plan at defaults.

@@ -82,6 +82,21 @@ enum class TimelineEventKind {
   /// replacement persists afterwards. Only homes with delegated IPv6 feel
   /// it (a new device without a prefix is still v4-only).
   device_turnover,
+  /// Interactive-arrival lambda ramp: affected homes' session rate climbs
+  /// linearly across the window from its static value toward `mult` times
+  /// it, and holds at `mult` afterwards (adoption of a new service,
+  /// work-from-home shifts). Multiple ramps compose multiplicatively; the
+  /// composite is clamped to [1/16, 16]. Shapes both the batch per-hour
+  /// counts and the open-loop arrival processes.
+  lambda_ramp,
+  /// Flash crowd: on every day inside the window, affected homes' arrivals
+  /// in hour slots [hour, hour + hours) are multiplied by `mult`. The hour
+  /// slots come from the event, not a per-home draw, so every affected
+  /// home spikes in the same slots — the correlated cross-residence
+  /// intra-day surge the open-loop engine exists to express. Overlapping
+  /// crowds union their hour masks and multiply their intensities
+  /// (clamped to [1/16, 16]).
+  flash_crowd,
 };
 
 const char* to_string(TimelineEventKind k);
@@ -110,6 +125,13 @@ struct TimelineEvent {
   /// device_turnover only: share of the broken-IPv6 gap closed by the
   /// window's end, in [0, 1].
   double turnover_rate = 1.0;
+  /// lambda_ramp / flash_crowd: rate multiplier in (0, 16] (required).
+  double mult = 1.0;
+  /// flash_crowd only: first burst hour, 0..23 (required).
+  int hour = -1;
+  /// flash_crowd only: burst length in hours, 1..24 (slots past hour 23
+  /// are dropped, not wrapped).
+  int hour_span = 1;
 
   friend bool operator==(const TimelineEvent&, const TimelineEvent&) = default;
 };
@@ -125,9 +147,10 @@ struct Timeline {
   /// Parse one event spec: `kind` is the text after "timeline." in the
   /// config key ("rollout_wave", "cpe_fix", "outage", "nat64_migration",
   /// "seasonal", "prefix_renumber", "service_outage", "cgn_exhaustion",
-  /// "device_turnover"); `spec` is the value — whitespace-separated k=v
-  /// pairs over keys {day, start, end, frac, amp, period, len, svc, ports,
-  /// rate}. `day=N` is shorthand for `start=N end=N`. Unknown kinds,
+  /// "device_turnover", "lambda_ramp", "flash_crowd"); `spec` is the
+  /// value — whitespace-separated k=v pairs over keys {day, start, end,
+  /// frac, amp, period, len, svc, ports, rate, mult, hour, hours}.
+  /// `day=N` is shorthand for `start=N end=N`. Unknown kinds,
   /// unknown or kind-inapplicable keys, values outside their documented
   /// ranges, NaN/inf, and end < start all fail the parse; when `error` is
   /// non-null it receives a one-line description naming the offending
@@ -159,6 +182,14 @@ struct TimelineDayState {
   /// Share of the broken-IPv6 device gap closed by turnover so far, in
   /// [0, 1]; concurrent turnover events compose as independent repairs.
   double v6_ok_uplift = 0.0;
+  /// Composite lambda_ramp multiplier; exactly 1.0 when no ramp applies
+  /// (the bit-identity batch-mode goldens rely on).
+  double lambda_mult = 1.0;
+  /// Union of active flash-crowd hour slots (bit h = hour h bursts).
+  std::uint32_t flash_hour_mask = 0;
+  /// Composite flash-crowd intensity for masked hours; exactly 1.0 when no
+  /// crowd is active.
+  double flash_mult = 1.0;
 
   friend bool operator==(const TimelineDayState&,
                          const TimelineDayState&) = default;

@@ -61,7 +61,12 @@ class CryptoPan {
   /// Batch entry points. Semantically identical to mapping the scalar call
   /// over `in`, but intended for flow-export batches: shared prefixes
   /// across the batch hit the PRF cache, so the amortized cost per address
-  /// approaches one AES call per differing byte. `out.size()` must equal
+  /// approaches one AES call per differing byte. The v6 batch additionally
+  /// processes addresses in (hi, lo)-sorted order — repeated /64s land
+  /// back to back, so duplicates collapse to one computation and shared
+  /// prefixes stop conflict-evicting each other in the direct-mapped
+  /// cache — and scatters results back, so output order and every output
+  /// value match the naive loop exactly. `out.size()` must equal
   /// `in.size()`.
   void anonymize_batch(std::span<const IPv4Addr> in, std::span<IPv4Addr> out,
                        int bits = 32) const;

@@ -3,26 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/firehose.h"
 #include "engine/flat_conntrack.h"
+#include "traffic/arrival.h"
 
 namespace nbv6::traffic {
 namespace {
 
 using flowmon::Scope;
 using flowmon::Timestamp;
-
-// Small-lambda Poisson (Knuth); lambdas here are < 50.
-int poisson(stats::Rng& rng, double lambda) {
-  if (lambda <= 0) return 0;
-  double l = std::exp(-lambda);
-  int k = 0;
-  double p = 1.0;
-  do {
-    ++k;
-    p *= rng.uniform();
-  } while (p > l);
-  return k - 1;
-}
 
 std::vector<double> residence_weights(const ServiceCatalog& catalog,
                                       const ResidenceConfig& cfg) {
@@ -104,76 +93,76 @@ net::IpAddr ResidenceSimulator::device_addr(int device, net::Family family,
                                     static_cast<std::uint64_t>(10 + device));
 }
 
-int ResidenceSimulator::flows_per_session(TrafficProfile p) {
+int ResidenceSimulator::flows_per_session(stats::Rng& rng, TrafficProfile p) {
   switch (p) {
     case TrafficProfile::web:
-      return static_cast<int>(rng_.between(3, 18));
+      return static_cast<int>(rng.between(3, 18));
     case TrafficProfile::streaming:
-      return static_cast<int>(rng_.between(1, 3));
+      return static_cast<int>(rng.between(1, 3));
     case TrafficProfile::download:
-      return static_cast<int>(rng_.between(1, 2));
+      return static_cast<int>(rng.between(1, 2));
     case TrafficProfile::call:
-      return static_cast<int>(rng_.between(1, 2));
+      return static_cast<int>(rng.between(1, 2));
     case TrafficProfile::gaming:
-      return static_cast<int>(rng_.between(4, 12));
+      return static_cast<int>(rng.between(4, 12));
     case TrafficProfile::background:
-      return static_cast<int>(rng_.between(1, 4));
+      return static_cast<int>(rng.between(1, 4));
   }
   return 1;
 }
 
 ResidenceSimulator::FlowSpec ResidenceSimulator::sample_flow(
-    TrafficProfile p) {
+    stats::Rng& rng, TrafficProfile p) {
   FlowSpec f{};
   switch (p) {
     case TrafficProfile::web:
       f.bytes_in = static_cast<std::uint64_t>(
-          std::min(rng_.lognormal(std::log(30e3), 1.4), 5e7));
+          std::min(rng.lognormal(std::log(30e3), 1.4), 5e7));
       f.bytes_out = 500 + f.bytes_in / 20;
-      f.duration = static_cast<Timestamp>(rng_.between(1, 30));
+      f.duration = static_cast<Timestamp>(rng.between(1, 30));
       break;
     case TrafficProfile::streaming:
       f.bytes_in = static_cast<std::uint64_t>(
-          std::min(rng_.pareto(60e6, 1.15), 6e9));
+          std::min(rng.pareto(60e6, 1.15), 6e9));
       f.bytes_out = f.bytes_in / 400;
-      f.duration = static_cast<Timestamp>(rng_.between(300, 5400));
+      f.duration = static_cast<Timestamp>(rng.between(300, 5400));
       break;
     case TrafficProfile::download:
       f.bytes_in = static_cast<std::uint64_t>(
-          std::min(rng_.pareto(150e6, 0.95), 2.5e10));
+          std::min(rng.pareto(150e6, 0.95), 2.5e10));
       f.bytes_out = f.bytes_in / 600;
-      f.duration = static_cast<Timestamp>(rng_.between(60, 3600));
+      f.duration = static_cast<Timestamp>(rng.between(60, 3600));
       break;
     case TrafficProfile::call: {
       auto bytes = static_cast<std::uint64_t>(
-          std::min(rng_.lognormal(std::log(120e6), 0.8), 2e9));
+          std::min(rng.lognormal(std::log(120e6), 0.8), 2e9));
       f.bytes_in = bytes;
       f.bytes_out = bytes;  // calls are symmetric
-      f.duration = static_cast<Timestamp>(rng_.between(600, 5400));
+      f.duration = static_cast<Timestamp>(rng.between(600, 5400));
       break;
     }
     case TrafficProfile::gaming:
       f.bytes_in = static_cast<std::uint64_t>(
-          std::min(rng_.lognormal(std::log(25e3), 1.0), 1e6));
+          std::min(rng.lognormal(std::log(25e3), 1.0), 1e6));
       f.bytes_out = f.bytes_in / 2;
-      f.duration = static_cast<Timestamp>(rng_.between(30, 3600));
+      f.duration = static_cast<Timestamp>(rng.between(30, 3600));
       break;
     case TrafficProfile::background:
       f.bytes_in = static_cast<std::uint64_t>(
-          std::min(rng_.lognormal(std::log(8e3), 1.2), 2e6));
+          std::min(rng.lognormal(std::log(8e3), 1.2), 2e6));
       f.bytes_out = 300 + f.bytes_in / 10;
-      f.duration = static_cast<Timestamp>(rng_.between(1, 120));
+      f.duration = static_cast<Timestamp>(rng.between(1, 120));
       break;
   }
   return f;
 }
 
 template <typename Table>
-void ResidenceSimulator::run_session(Table& table, Timestamp t,
-                                     size_t service_idx, bool background,
-                                     const DayPlan& day) {
+void ResidenceSimulator::run_session(stats::Rng& rng, Table& table,
+                                     Timestamp t, size_t service_idx,
+                                     bool background, const DayPlan& day) {
   // Opt-outs: some devices bypass the study router entirely.
-  if (!rng_.chance(cfg_.visibility)) {
+  if (!rng.chance(cfg_.visibility)) {
     ++stats_.skipped_invisible;
     return;
   }
@@ -188,14 +177,14 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
   }
 
   const Service& svc = catalog_->at(service_idx);
-  int device = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
+  int device = static_cast<int>(rng.below(static_cast<std::uint64_t>(device_count_)));
   const double v6_ok_frac = day.device_v6_ok_frac >= 0.0
                                 ? day.device_v6_ok_frac
                                 : cfg_.device_v6_ok_frac;
-  bool device_v6_ok = rng_.chance(v6_ok_frac);
+  bool device_v6_ok = rng.chance(v6_ok_frac);
 
   int endpoint_idx = static_cast<int>(
-      rng_.below(ServiceCatalog::kEndpointsPerService));
+      rng.below(ServiceCatalog::kEndpointsPerService));
   Endpoint ep = catalog_->endpoint(service_idx, endpoint_idx);
 
   // Pick the WAN family the session rides.
@@ -215,13 +204,13 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
     // Background chatter skews IPv4: much of it is legacy firmware and
     // update CDNs pinned to literal IPv4 endpoints (the paper's
     // observation that unoccupied-house traffic is mostly IPv4).
-    bool force_v4 = background && rng_.chance(cfg_.background_v4_bias);
+    bool force_v4 = background && rng.chance(cfg_.background_v4_bias);
 
-    double v4_rtt = rng_.lognormal(std::log(18.0), 0.4);
-    double v6_rtt = rng_.lognormal(std::log(18.0), 0.4);
+    double v4_rtt = rng.lognormal(std::log(18.0), 0.4);
+    double v6_rtt = rng.lognormal(std::log(18.0), 0.4);
     auto decision = happy_eyeballs_race(true, ep.v6.has_value(),
                                         device_v6_ok && !force_v4, v4_rtt,
-                                        v6_rtt, rng_, he_cfg_);
+                                        v6_rtt, rng, he_cfg_);
     if (decision.failed) {
       ++stats_.he_failures;
       return;
@@ -242,10 +231,10 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
 
   const bool use_udp = svc.profile == TrafficProfile::streaming ||
                        svc.profile == TrafficProfile::call
-                           ? rng_.chance(0.6)
-                           : rng_.chance(0.1);
+                           ? rng.chance(0.6)
+                           : rng.chance(0.1);
 
-  int nflows = flows_per_session(svc.profile);
+  int nflows = flows_per_session(rng, svc.profile);
 
   // CGN port-pool exhaustion: every v4 WAN flow consumes one translation
   // port for the day. A session whose flows would overrun the budget fails
@@ -261,7 +250,7 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
   }
 
   for (int i = 0; i < nflows; ++i) {
-    FlowSpec spec = sample_flow(svc.profile);
+    FlowSpec spec = sample_flow(rng, svc.profile);
     net::FlowKey key;
     key.protocol = use_udp ? net::Protocol::udp : net::Protocol::tcp;
     key.src = device_addr(device, via_v6 ? net::Family::v6 : net::Family::v4,
@@ -270,7 +259,7 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
     key.src_port = next_port();
     key.dst_port = 443;
 
-    Timestamp start = t + static_cast<Timestamp>(rng_.below(60));
+    Timestamp start = t + static_cast<Timestamp>(rng.below(60));
     table.open(key, start, Scope::external);
     table.account(key, start, spec.bytes_out, spec.bytes_in);
     table.close(key, start + spec.duration);
@@ -302,45 +291,76 @@ void ResidenceSimulator::run_session(Table& table, Timestamp t,
 }
 
 template <typename Table>
-void ResidenceSimulator::run_internal(Table& table, Timestamp t,
+void ResidenceSimulator::run_internal(stats::Rng& rng, Table& table,
+                                      Timestamp t, Timestamp window,
                                       const DayPlan& day) {
-  int a = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
-  int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(device_count_)));
+  int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(device_count_)));
+  int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(device_count_)));
   if (a == b) b = (b + 1) % device_count_;
 
   const double v6_frac = day.internal_v6_frac >= 0.0 ? day.internal_v6_frac
                                                      : cfg_.internal_v6_frac;
-  bool v6 = rng_.chance(v6_frac);
+  bool v6 = rng.chance(v6_frac);
   net::FlowKey key;
-  key.protocol = rng_.chance(0.5) ? net::Protocol::udp : net::Protocol::tcp;
+  key.protocol = rng.chance(0.5) ? net::Protocol::udp : net::Protocol::tcp;
   key.src = device_addr(a, v6 ? net::Family::v6 : net::Family::v4,
                         day.prefix_epoch);
   key.dst = device_addr(b, v6 ? net::Family::v6 : net::Family::v4,
                         day.prefix_epoch);
   key.src_port = next_port();
-  key.dst_port = rng_.chance(0.4) ? 5353 : 445;  // mDNS / SMB-ish mix
+  key.dst_port = rng.chance(0.4) ? 5353 : 445;  // mDNS / SMB-ish mix
 
   auto bytes = static_cast<std::uint64_t>(
-      std::min(rng_.lognormal(std::log(50e3), 1.6), 5e8));
-  Timestamp start = t + static_cast<Timestamp>(rng_.below(3600));
+      std::min(rng.lognormal(std::log(50e3), 1.6), 5e8));
+  Timestamp start =
+      t + static_cast<Timestamp>(rng.below(static_cast<std::uint64_t>(window)));
   table.open(key, start, Scope::internal);
   table.account(key, start, bytes / 2, bytes / 2);
-  table.close(key, start + static_cast<Timestamp>(rng_.between(1, 300)));
+  table.close(key, start + static_cast<Timestamp>(rng.between(1, 300)));
   ++stats_.flows;
+}
+
+size_t ResidenceSimulator::background_service(stats::Rng& rng) {
+  // Background favours software/update and cloud endpoints.
+  size_t idx = service_sampler_.sample(rng);
+  const auto& svc = catalog_->at(idx);
+  if (svc.profile != TrafficProfile::background && rng.chance(0.5)) {
+    // Re-roll once toward background-profile services.
+    for (size_t j = 0; j < catalog_->size(); ++j) {
+      if (catalog_->at(j).profile == TrafficProfile::background) {
+        idx = j;
+        break;
+      }
+    }
+  }
+  return idx;
+}
+
+double ResidenceSimulator::hour_lambda(int day, int hour,
+                                       const DayPlan& today) const {
+  // Interactive sessions follow presence, scaled by the timeline's
+  // seasonal multiplier and the open-loop lambda shaping. The ramp and
+  // flash factors default to exactly 1.0, and x * 1.0 is an IEEE bit
+  // identity, so plans without those events reproduce the original
+  // expression bit for bit (the golden-replay guarantee).
+  double lam = cfg_.activity_scale * today.activity_mult;
+  lam *= today.lambda_mult;
+  if (hour >= 0 && hour < 24 && ((today.flash_hour_mask >> hour) & 1u) != 0)
+    lam *= today.flash_mult;
+  return lam * presence(day, hour);
 }
 
 template <typename Table>
 void ResidenceSimulator::simulate_hour(Table& table, int day, int hour,
                                        const DayPlan& today) {
+  // Optional tick hook: in batch mode an hour is the tick.
+  if constexpr (requires(Table& t) { t.advance(0, 0); })
+    table.advance(day, hour);
   const Timestamp hour_start =
       static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
       static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
 
-  // Interactive sessions follow presence, scaled by the timeline's
-  // seasonal multiplier.
-  double lambda = cfg_.activity_scale * today.activity_mult *
-                  presence(day, hour);
-  int sessions = poisson(rng_, lambda);
+  int sessions = poisson_count(rng_, hour_lambda(day, hour, today));
   for (int s = 0; s < sessions; ++s) {
     if (today.outage) {
       // Connectivity is down: the session never reaches the WAN and the
@@ -349,70 +369,134 @@ void ResidenceSimulator::simulate_hour(Table& table, int day, int hour,
       continue;
     }
     Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
-    run_session(table, t, service_sampler_.sample(rng_), /*background=*/false,
-                today);
+    run_session(rng_, table, t, service_sampler_.sample(rng_),
+                /*background=*/false, today);
   }
 
   // Background chatter runs regardless of presence (phones at home, TVs
   // polling, OS updates) at a low constant rate.
-  int bg = poisson(rng_, 1.2);
+  int bg = poisson_count(rng_, 1.2);
   for (int s = 0; s < bg; ++s) {
     if (today.outage) {
       ++stats_.outage_suppressed;
       continue;
     }
     Timestamp t = hour_start + static_cast<Timestamp>(rng_.below(3600));
-    // Background favours software/update and cloud endpoints.
-    size_t idx = service_sampler_.sample(rng_);
-    const auto& svc = catalog_->at(idx);
-    if (svc.profile != TrafficProfile::background && rng_.chance(0.5)) {
-      // Re-roll once toward background-profile services.
-      for (size_t j = 0; j < catalog_->size(); ++j) {
-        if (catalog_->at(j).profile == TrafficProfile::background) {
-          idx = j;
-          break;
-        }
-      }
-    }
-    run_session(table, t, idx, /*background=*/true, today);
+    size_t idx = background_service(rng_);
+    run_session(rng_, table, t, idx, /*background=*/true, today);
   }
 
   // Internal LAN flows: the one thing an outage does not stop.
-  int internal = poisson(rng_, cfg_.internal_flows_per_hour *
-                                   std::max(0.2, presence(day, hour)));
-  for (int s = 0; s < internal; ++s) run_internal(table, hour_start, today);
+  int internal = poisson_count(rng_, cfg_.internal_flows_per_hour *
+                                         std::max(0.2, presence(day, hour)));
+  for (int s = 0; s < internal; ++s)
+    run_internal(rng_, table, hour_start, /*window=*/3600, today);
 }
 
 template <typename Table>
-SimulationStats ResidenceSimulator::run(Table& table) {
+void ResidenceSimulator::simulate_tick(Table& table, int day, int tick,
+                                       const DayPlan& today) {
+  if constexpr (requires(Table& t) { t.advance(0, 0); })
+    table.advance(day, tick);
+  const int tph = std::clamp(cfg_.arrival.ticks_per_hour, 1, 3600);
+  const int hour = tick / tph;
+  const int slot = tick % tph;
+  const Timestamp hour_start =
+      static_cast<Timestamp>(day) * flowmon::kSecondsPerDay +
+      static_cast<Timestamp>(hour) * flowmon::kSecondsPerHour;
+  // Integer-truncated slot boundaries tile the hour exactly even when tph
+  // does not divide 3600; every slot is at least one second wide.
+  const Timestamp t0 = hour_start + (static_cast<Timestamp>(slot) * 3600) / tph;
+  const Timestamp t1 =
+      hour_start + (static_cast<Timestamp>(slot + 1) * 3600) / tph;
+  const Timestamp tick_len = std::max<Timestamp>(t1 - t0, 1);
+
+  // The whole slot runs off one fresh counter-based stream — arrivals and
+  // session bodies alike are pure in (seed, index, day, tick).
+  stats::Rng rng = arrival_tick_rng(cfg_.seed, day, tick);
+  const double inv_tph = 1.0 / static_cast<double>(tph);
+
+  int sessions = draw_arrivals(cfg_.arrival.mode, rng,
+                               hour_lambda(day, hour, today) * inv_tph);
+  for (int s = 0; s < sessions; ++s) {
+    if (today.outage) {
+      ++stats_.outage_suppressed;
+      continue;
+    }
+    Timestamp t =
+        t0 + static_cast<Timestamp>(rng.below(static_cast<std::uint64_t>(tick_len)));
+    run_session(rng, table, t, service_sampler_.sample(rng),
+                /*background=*/false, today);
+  }
+
+  int bg = draw_arrivals(cfg_.arrival.mode, rng, 1.2 * inv_tph);
+  for (int s = 0; s < bg; ++s) {
+    if (today.outage) {
+      ++stats_.outage_suppressed;
+      continue;
+    }
+    Timestamp t =
+        t0 + static_cast<Timestamp>(rng.below(static_cast<std::uint64_t>(tick_len)));
+    size_t idx = background_service(rng);
+    run_session(rng, table, t, idx, /*background=*/true, today);
+  }
+
+  int internal = draw_arrivals(
+      cfg_.arrival.mode, rng,
+      cfg_.internal_flows_per_hour * std::max(0.2, presence(day, hour)) *
+          inv_tph);
+  for (int s = 0; s < internal; ++s)
+    run_internal(rng, table, t0, tick_len, today);
+}
+
+void ResidenceSimulator::begin_run() {
   stats_ = SimulationStats{};
   stats_.daily.assign(static_cast<size_t>(std::max(cfg_.days, 0)),
                       DaySessionStats{});
-  for (int day = 0; day < cfg_.days; ++day) {
-    // The plan is a pure function of the day; one evaluation governs all
-    // 24 hours (and keeps lazy providers out of the hour loop).
-    const DayPlan today = plan(day);
-    cgn_ports_used_ = 0;  // the CGN translator recycles bindings overnight
-    const DaySessionStats before{stats_.sessions, stats_.he_failures,
-                                 stats_.outage_suppressed,
-                                 stats_.service_outage_failed,
-                                 stats_.cgn_failures};
+}
+
+template <typename Table>
+void ResidenceSimulator::run_day(Table& table, int day) {
+  // The plan is a pure function of the day; one evaluation governs all
+  // 24 hours (and keeps lazy providers out of the hour/tick loop).
+  const DayPlan today = plan(day);
+  cgn_ports_used_ = 0;  // the CGN translator recycles bindings overnight
+  const DaySessionStats before{stats_.sessions, stats_.he_failures,
+                               stats_.outage_suppressed,
+                               stats_.service_outage_failed,
+                               stats_.cgn_failures};
+  if (cfg_.arrival.mode == ArrivalMode::batch) {
     for (int hour = 0; hour < 24; ++hour)
       simulate_hour(table, day, hour, today);
+  } else {
+    const int tph = std::clamp(cfg_.arrival.ticks_per_hour, 1, 3600);
+    for (int tick = 0; tick < 24 * tph; ++tick)
+      simulate_tick(table, day, tick, today);
+  }
+  if (day >= 0 && static_cast<size_t>(day) < stats_.daily.size())
     stats_.daily[static_cast<size_t>(day)] = {
         stats_.sessions - before.sessions,
         stats_.he_failures - before.he_failures,
         stats_.outage_suppressed - before.outage_suppressed,
         stats_.service_outage_failed - before.service_outage_failed,
         stats_.cgn_failures - before.cgn_failures};
-  }
+}
+
+template <typename Table>
+SimulationStats ResidenceSimulator::run(Table& table) {
+  begin_run();
+  for (int day = 0; day < cfg_.days; ++day) run_day(table, day);
   table.flush(static_cast<Timestamp>(cfg_.days) * flowmon::kSecondsPerDay);
   return stats_;
 }
 
-// The two conntrack sinks the library ships. New table types only need an
-// explicit instantiation here.
+// The conntrack sinks the library ships plus the firehose capture buffer.
+// New table types only need an explicit instantiation here.
 template SimulationStats ResidenceSimulator::run(flowmon::ConntrackTable&);
 template SimulationStats ResidenceSimulator::run(engine::FlatConntrack&);
+template SimulationStats ResidenceSimulator::run(engine::FlowEventBuffer&);
+template void ResidenceSimulator::run_day(flowmon::ConntrackTable&, int);
+template void ResidenceSimulator::run_day(engine::FlatConntrack&, int);
+template void ResidenceSimulator::run_day(engine::FlowEventBuffer&, int);
 
 }  // namespace nbv6::traffic

@@ -88,14 +88,34 @@ class ResidenceSimulator {
   /// Run the full configured period, feeding `table`. Callers typically
   /// attach a FlowMonitor to the table first. `Table` is any conntrack-
   /// shaped sink (open/account/close/flush); instantiated in generator.cpp
-  /// for flowmon::ConntrackTable and engine::FlatConntrack, so fleet shards
-  /// drive the flat hot-path table with the exact same generator code.
+  /// for flowmon::ConntrackTable, engine::FlatConntrack and the firehose's
+  /// engine::FlowEventBuffer, so fleet shards drive the flat hot-path table
+  /// with the exact same generator code. If the table additionally exposes
+  /// `advance(int day, int tick)`, the generator calls it at the start of
+  /// every time slot (hour in batch mode, tick otherwise) — how the
+  /// firehose attributes flows to ticks without widening the sink API.
   template <typename Table>
   SimulationStats run(Table& table);
+
+  /// Stepped interface for day-granular drivers (engine::Firehose):
+  /// begin_run() resets the run's statistics, then run_day() simulates one
+  /// day — run(table) is exactly begin_run + run_day for every day + flush.
+  void begin_run();
+  template <typename Table>
+  void run_day(Table& table, int day);
+  /// Counters accumulated so far by begin_run/run_day stepping.
+  [[nodiscard]] const SimulationStats& stats() const { return stats_; }
 
   /// Human presence multiplier in [0,1] for one hour slot; exposed for
   /// tests of the diurnal model.
   [[nodiscard]] double presence(int day, int hour) const;
+
+  /// Expected interactive sessions in hour `hour` of `day`: the presence
+  /// curve scaled by activity and the day plan's lambda shaping
+  /// (activity_mult, lambda_mult, flash-crowd hours). Exposed for tests of
+  /// the open-loop rate model.
+  [[nodiscard]] double hour_lambda(int day, int hour,
+                                   const DayPlan& today) const;
 
  private:
   struct FlowSpec {
@@ -106,20 +126,33 @@ class ResidenceSimulator {
 
   template <typename Table>
   void simulate_hour(Table& table, int day, int hour, const DayPlan& today);
+  /// One open-loop time slot: a fresh counter-based Rng keyed on
+  /// (residence seed, day, tick) draws this tick's arrivals and drives the
+  /// session bodies, so everything inside the slot is pure in
+  /// (seed, index, day, tick).
   template <typename Table>
-  void run_session(Table& table, flowmon::Timestamp t, size_t service_idx,
-                   bool background, const DayPlan& day);
+  void simulate_tick(Table& table, int day, int tick, const DayPlan& today);
+  /// Session/flow bodies draw from the caller's stream: the batch path
+  /// passes the run-long rng_ (bit-identical to the pre-arrival generator),
+  /// the open-loop path passes the per-tick stream.
   template <typename Table>
-  void run_internal(Table& table, flowmon::Timestamp t, const DayPlan& day);
+  void run_session(stats::Rng& rng, Table& table, flowmon::Timestamp t,
+                   size_t service_idx, bool background, const DayPlan& day);
+  template <typename Table>
+  void run_internal(stats::Rng& rng, Table& table, flowmon::Timestamp t,
+                    flowmon::Timestamp window, const DayPlan& day);
+  /// The background-chatter service pick (with its single re-roll toward
+  /// background-profile services); shared by the batch and tick paths.
+  size_t background_service(stats::Rng& rng);
   [[nodiscard]] bool is_away(int day) const;
   /// The timeline plan governing `day`: the lazy provider when the config
   /// carries one, else the materialized vector, else kStaticDayPlan.
   /// Evaluated once per simulated day by run().
   [[nodiscard]] DayPlan plan(int day) const;
 
-  /// Per-profile flow count and byte sampling.
-  int flows_per_session(TrafficProfile p);
-  FlowSpec sample_flow(TrafficProfile p);
+  /// Per-profile flow count and byte sampling, off the caller's stream.
+  int flows_per_session(stats::Rng& rng, TrafficProfile p);
+  FlowSpec sample_flow(stats::Rng& rng, TrafficProfile p);
 
   net::IpAddr device_addr(int device, net::Family family,
                           int prefix_epoch = 0) const;

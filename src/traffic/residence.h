@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "traffic/arrival.h"
+
 namespace nbv6::traffic {
 
 /// One simulated day's effective overrides, derived from a scenario
@@ -45,6 +47,17 @@ struct DayPlan {
   /// unconstrained (cgn_exhaustion events). Once a day's v4 flows exhaust
   /// the budget, further v4 sessions fail.
   int cgn_port_budget = -1;
+  /// Multiplies the interactive arrival rate on top of activity_mult
+  /// (lambda_ramp events). Exactly 1.0 when no ramp applies — multiplying
+  /// by 1.0 is an IEEE bit-identity, so batch-mode replays stay byte-exact.
+  double lambda_mult = 1.0;
+  /// Bit h set = hour h is inside a flash-crowd burst this day; arrivals in
+  /// those hours are additionally multiplied by flash_mult. The mask comes
+  /// from the event (not a per-home draw), so every affected home spikes in
+  /// the same hour slots — the correlated cross-residence surge.
+  std::uint32_t flash_hour_mask = 0;
+  /// Flash-crowd intensity for masked hours; exactly 1.0 when unused.
+  double flash_mult = 1.0;
 
   friend bool operator==(const DayPlan&, const DayPlan&) = default;
 };
@@ -102,6 +115,11 @@ struct ResidenceConfig {
   /// by default so a million-home, year-long fleet never materializes
   /// residences x days plans.
   DayPlanFn day_plan_fn;
+
+  /// How sessions land inside a day: the original per-hour batch (default)
+  /// or an open-loop tick-sliced arrival process. Copied from the
+  /// scenario's FleetConfig::arrival by sample_fleet.
+  ArrivalConfig arrival;
 
   std::uint64_t seed = 1;
 };

@@ -96,21 +96,28 @@ TEST(GoldenReplay, BitIdenticalAcrossLanesAndMatchesGolden) {
 // cell by cell across all scenarios in timeline_test.
 TEST(GoldenReplay, LazyAndMaterializedPlansAreByteIdentical) {
   auto catalog = nbv6::traffic::build_paper_catalog();
-  const std::string file =
-      nbv6::testutil::scenarios_dir() + "/nat64_migration.cfg";
-  auto cfg = nbv6::engine::FleetConfig::load(file);
-  ASSERT_TRUE(cfg.has_value());
+  // One batch-mode timeline scenario plus the open-loop trio: the lazy and
+  // materialized plan routes must agree for the tick-sliced arrival engine
+  // and both new event kinds, not just the original per-hour batch.
+  for (const char* name : {"nat64_migration", "open_loop_ramp", "flash_crowd",
+                           "uniform_arrivals"}) {
+    SCOPED_TRACE(name);
+    const std::string file =
+        nbv6::testutil::scenarios_dir() + "/" + name + ".cfg";
+    auto cfg = nbv6::engine::FleetConfig::load(file);
+    ASSERT_TRUE(cfg.has_value());
 
-  const std::string lazy =
-      canonical_serialize(run_scenario(*cfg, catalog, 1));
-  ASSERT_FALSE(lazy.empty());
-  for (int lanes : {1, 4, 8}) {
-    auto run = run_scenario(*cfg, catalog, lanes,
-                            nbv6::engine::TimelinePlanMode::materialized);
-    std::string text = canonical_serialize(run);
-    EXPECT_EQ(text, lazy)
-        << "materialized plans at " << lanes << " lane(s) diverged from the "
-        << "lazy run:\n" << first_diff(text, lazy);
+    const std::string lazy =
+        canonical_serialize(run_scenario(*cfg, catalog, 1));
+    ASSERT_FALSE(lazy.empty());
+    for (int lanes : {1, 4, 8}) {
+      auto run = run_scenario(*cfg, catalog, lanes,
+                              nbv6::engine::TimelinePlanMode::materialized);
+      std::string text = canonical_serialize(run);
+      EXPECT_EQ(text, lazy)
+          << "materialized plans at " << lanes << " lane(s) diverged from the "
+          << "lazy run:\n" << first_diff(text, lazy);
+    }
   }
 }
 

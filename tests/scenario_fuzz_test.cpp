@@ -17,6 +17,7 @@
 
 #include "engine/scenario_fuzz.h"
 #include "testutil.h"
+#include "traffic/arrival.h"
 #include "traffic/service_catalog.h"
 
 namespace nbv6 {
@@ -46,10 +47,12 @@ TEST(ScenarioFuzz, GeneratorCoversTheEventGrammar) {
   // must appear — otherwise the fuzzer silently stopped exercising part of
   // the vocabulary.
   std::set<std::string> kinds;
+  std::set<traffic::ArrivalMode> modes;
   bool saw_day = false, saw_open = false, saw_closed = false;
   for (std::uint64_t seed = 0; seed < 400; ++seed) {
     auto cfg = engine::FleetConfig::parse(engine::generate_scenario_text(seed));
     ASSERT_TRUE(cfg.has_value());
+    modes.insert(cfg->arrival.mode);
     for (const auto& ev : cfg->timeline.events) {
       kinds.insert(engine::to_string(ev.kind));
       if (ev.start_day == ev.end_day) saw_day = true;
@@ -57,7 +60,8 @@ TEST(ScenarioFuzz, GeneratorCoversTheEventGrammar) {
       else saw_closed = true;
     }
   }
-  EXPECT_EQ(kinds.size(), 9u) << "missing event kinds in generator output";
+  EXPECT_EQ(kinds.size(), 11u) << "missing event kinds in generator output";
+  EXPECT_EQ(modes.size(), 3u) << "missing arrival modes in generator output";
   EXPECT_TRUE(saw_day);
   EXPECT_TRUE(saw_open);
   EXPECT_TRUE(saw_closed);

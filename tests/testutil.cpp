@@ -126,8 +126,15 @@ std::string canonical_serialize(const ScenarioRun& run) {
   out.reserve(1 << 16);
 
   const auto& cfg = run.cfg;
-  append(out, "scenario residences=%d days=%d seed=%" PRIu64 " events=%zu\n",
+  append(out, "scenario residences=%d days=%d seed=%" PRIu64 " events=%zu",
          cfg.residences, cfg.days, cfg.seed, cfg.timeline.events.size());
+  // Open-loop runs name their arrival process in the header; batch runs
+  // keep the original line so every pre-existing golden stays byte-exact.
+  if (cfg.arrival.mode != traffic::ArrivalMode::batch) {
+    append(out, " arrival=%s ticks_per_hour=%d",
+           traffic::to_string(cfg.arrival.mode), cfg.arrival.ticks_per_hour);
+  }
+  out += '\n';
 
   const auto& totals = run.result.totals;
   append(out,

@@ -673,5 +673,113 @@ TEST(TimelineBehaviour, CpeFixHealsBrokenHomes) {
   EXPECT_LT(panel.rows[0].median_a, panel.rows[0].median_b);
 }
 
+// ------------------------------------------- open-loop arrival shaping
+
+TEST(TimelineParse, ArrivalShapingKindsParseWithTheirKeys) {
+  auto ramp = Timeline::parse_event("lambda_ramp", "start=7 end=21 mult=3");
+  ASSERT_TRUE(ramp.has_value());
+  EXPECT_EQ(ramp->kind, TimelineEventKind::lambda_ramp);
+  EXPECT_DOUBLE_EQ(ramp->mult, 3.0);
+
+  auto crowd = Timeline::parse_event("flash_crowd",
+                                     "day=4 hour=20 hours=2 mult=6");
+  ASSERT_TRUE(crowd.has_value());
+  EXPECT_EQ(crowd->kind, TimelineEventKind::flash_crowd);
+  EXPECT_EQ(crowd->hour, 20);
+  EXPECT_EQ(crowd->hour_span, 2);
+  EXPECT_DOUBLE_EQ(crowd->mult, 6.0);
+  // `hours` defaults to a single burst hour.
+  EXPECT_EQ(Timeline::parse_event("flash_crowd", "day=1 hour=8 mult=2")
+                ->hour_span, 1);
+
+  // Required keys, ranges, and kind-applicability.
+  EXPECT_FALSE(Timeline::parse_event("lambda_ramp", "day=1").has_value());
+  EXPECT_FALSE(Timeline::parse_event("lambda_ramp", "day=1 mult=0").has_value());
+  EXPECT_FALSE(
+      Timeline::parse_event("lambda_ramp", "day=1 mult=17").has_value());
+  EXPECT_FALSE(
+      Timeline::parse_event("lambda_ramp", "day=1 mult=2 hour=3").has_value());
+  EXPECT_FALSE(Timeline::parse_event("flash_crowd", "day=1 mult=2").has_value());
+  EXPECT_FALSE(
+      Timeline::parse_event("flash_crowd", "day=1 hour=20").has_value());
+  EXPECT_FALSE(Timeline::parse_event("flash_crowd",
+                                     "day=1 hour=24 mult=2").has_value());
+  EXPECT_FALSE(Timeline::parse_event("flash_crowd",
+                                     "day=1 hour=3 hours=0 mult=2").has_value());
+  EXPECT_FALSE(Timeline::parse_event("flash_crowd",
+                                     "day=1 hour=3 hours=25 mult=2").has_value());
+  EXPECT_FALSE(Timeline::parse_event("outage", "day=1 mult=2").has_value());
+  EXPECT_FALSE(Timeline::parse_event("seasonal", "hour=3").has_value());
+
+  std::string error;
+  Timeline::parse_event("lambda_ramp", "day=1", &error);
+  EXPECT_NE(error.find("'mult' is required"), std::string::npos);
+  Timeline::parse_event("flash_crowd", "day=1 mult=2", &error);
+  EXPECT_NE(error.find("'hour' is required"), std::string::npos);
+}
+
+TEST(TimelineDayStateTest, LambdaRampClimbsLinearlyAndHolds) {
+  Timeline tl;
+  tl.events.push_back(
+      *Timeline::parse_event("lambda_ramp", "start=4 end=7 mult=5"));
+  ResidenceTraits base;
+  double prev = 1.0;
+  for (int day = 0; day < 12; ++day) {
+    auto s = timeline_day_state(tl, 3, 0, day, 12, base);
+    if (day < 4) {
+      // Pre-window days must be *exactly* 1.0 — batch-mode bit identity
+      // depends on the multiplier being the multiplicative identity.
+      EXPECT_EQ(s.lambda_mult, 1.0) << "day " << day;
+    } else {
+      EXPECT_GE(s.lambda_mult, prev) << "ramp must never regress";
+      EXPECT_LE(s.lambda_mult, 5.0);
+    }
+    prev = s.lambda_mult;
+  }
+  EXPECT_DOUBLE_EQ(timeline_day_state(tl, 3, 0, 7, 12, base).lambda_mult, 5.0);
+  EXPECT_DOUBLE_EQ(timeline_day_state(tl, 3, 0, 11, 12, base).lambda_mult, 5.0);
+}
+
+TEST(TimelineDayStateTest, StackedRampsComposeAndClampAtSixteen) {
+  Timeline tl;
+  for (int i = 0; i < 3; ++i)
+    tl.events.push_back(
+        *Timeline::parse_event("lambda_ramp", "start=0 end=0 mult=8"));
+  ResidenceTraits base;
+  // 8^3 = 512 raw; the composite clamps to the documented ceiling.
+  auto s = timeline_day_state(tl, 5, 0, 3, 6, base);
+  EXPECT_DOUBLE_EQ(s.lambda_mult, 16.0);
+}
+
+TEST(TimelineDayStateTest, FlashCrowdsUnionHoursAndMultiplyIntensity) {
+  Timeline tl;
+  tl.events.push_back(
+      *Timeline::parse_event("flash_crowd", "start=2 end=4 hour=20 hours=2 mult=3"));
+  tl.events.push_back(
+      *Timeline::parse_event("flash_crowd", "day=3 hour=21 hours=3 mult=2"));
+  ResidenceTraits base;
+  for (int day = 0; day < 6; ++day) {
+    auto s = timeline_day_state(tl, 9, 0, day, 6, base);
+    if (day < 2 || day > 4) {
+      EXPECT_EQ(s.flash_hour_mask, 0u) << "day " << day;
+      EXPECT_EQ(s.flash_mult, 1.0) << "day " << day;
+    } else if (day == 3) {
+      // Both crowds active: hours {20,21} ∪ {21,22,23}, intensity 3*2.
+      EXPECT_EQ(s.flash_hour_mask,
+                (1u << 20) | (1u << 21) | (1u << 22) | (1u << 23));
+      EXPECT_DOUBLE_EQ(s.flash_mult, 6.0);
+    } else {
+      EXPECT_EQ(s.flash_hour_mask, (1u << 20) | (1u << 21)) << "day " << day;
+      EXPECT_DOUBLE_EQ(s.flash_mult, 3.0) << "day " << day;
+    }
+  }
+  // A span running past hour 23 drops the overflow instead of wrapping.
+  Timeline late;
+  late.events.push_back(
+      *Timeline::parse_event("flash_crowd", "day=0 hour=23 hours=4 mult=2"));
+  auto s = timeline_day_state(late, 9, 0, 0, 2, base);
+  EXPECT_EQ(s.flash_hour_mask, 1u << 23);
+}
+
 }  // namespace
 }  // namespace nbv6::engine
