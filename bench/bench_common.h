@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.h"
 #include "cloud/providers.h"
 #include "core/client_analysis.h"
 #include "engine/fleet.h"
@@ -88,17 +89,28 @@ inline std::vector<SimulatedResidence> simulate_residences(
   return out;
 }
 
-/// The fleet figure binaries' shared scenario knobs, one place so both
-/// figures always run the same fleet:
-///   NBV6_FLEET_RESIDENCES (256)  NBV6_FLEET_DAYS (14)
-///   NBV6_FLEET_SEED (20260726)   NBV6_FLEET_THREADS (0 = hw concurrency)
-inline engine::FleetConfig fleet_config_from_env() {
+/// The fleet figure binaries' shared scenario defaults, one place so both
+/// figures always run the same fleet.
+inline engine::FleetConfig default_bench_fleet() {
   engine::FleetConfig cfg;
-  cfg.residences = env_int("NBV6_FLEET_RESIDENCES", 256);
-  cfg.days = env_int("NBV6_FLEET_DAYS", 14);
-  cfg.seed = env_u64("NBV6_FLEET_SEED", 20260726);
-  cfg.threads = env_int("NBV6_FLEET_THREADS", 0);
+  cfg.residences = 256;
+  cfg.days = 14;
+  cfg.seed = 20260726;
+  cfg.threads = 0;
   return cfg;
+}
+
+/// Register the shared fleet scenario flags on `cli`, targeting `cfg`
+/// (typically default_bench_fleet()). The old NBV6_FLEET_* env knobs stay
+/// wired in as deprecated fallbacks.
+inline void register_fleet_flags(Cli& cli, engine::FleetConfig& cfg) {
+  cli.flag_int("residences", &cfg.residences, "fleet size",
+               "NBV6_FLEET_RESIDENCES");
+  cli.flag_int("days", &cfg.days, "simulated horizon in days",
+               "NBV6_FLEET_DAYS");
+  cli.flag_u64("seed", &cfg.seed, "scenario master seed", "NBV6_FLEET_SEED");
+  cli.flag_int("threads", &cfg.threads, "worker lanes, 0 = hw concurrency",
+               "NBV6_FLEET_THREADS");
 }
 
 /// The standard web universe at NBV6_SITES scale.

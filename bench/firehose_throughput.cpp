@@ -1,60 +1,59 @@
-// Firehose throughput: the PR's headline number.
+// Firehose throughput: the streaming engine's headline number.
 //
 // Streams a synthetic fleet through engine::Firehose with a
 // byte-counting sink and reports flows/sec and — the figure of merit —
-// flows/sec/core. Knobs come from the environment so CI smoke runs and
-// local deep runs share one binary:
+// flows/sec/core. Knobs are shared-grammar CLI flags (see --help) so CI
+// smoke runs and local deep runs share one binary:
 //
-//   NBV6_FIREHOSE_RESIDENCES  fleet size            (default 64)
-//   NBV6_FIREHOSE_DAYS        simulated horizon     (default 14)
-//   NBV6_FIREHOSE_THREADS     worker lanes, 0=auto  (default 0)
-//   NBV6_FIREHOSE_TPH         ticks per hour        (default 12)
-//   NBV6_FIREHOSE_MODE        batch|poisson|uniform (default poisson)
-//   NBV6_FIREHOSE_SEED       scenario seed          (default 1)
+//   ./build/firehose_throughput [--residences=64 --days=14 --threads=0
+//                                --tph=12 --mode=poisson --seed=1]
+//
+// The old NBV6_FIREHOSE_* env knobs remain deprecated fallbacks.
 //
 // Output is one human line plus one machine-greppable `RESULT` line of
 // key=value pairs (the CI artifact).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "bench_cli.h"
 #include "engine/firehose.h"
 #include "engine/fleet.h"
 #include "traffic/arrival.h"
 #include "traffic/service_catalog.h"
 
-namespace {
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
-}
-
-const char* env_str(const char* name, const char* fallback) {
-  const char* v = std::getenv(name);
-  return (v == nullptr || *v == '\0') ? fallback : v;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace nbv6;
 
   engine::FleetConfig cfg;
-  cfg.residences = env_int("NBV6_FIREHOSE_RESIDENCES", 64);
-  cfg.days = env_int("NBV6_FIREHOSE_DAYS", 14);
-  cfg.seed = static_cast<std::uint64_t>(env_int("NBV6_FIREHOSE_SEED", 1));
-  cfg.arrival.ticks_per_hour = env_int("NBV6_FIREHOSE_TPH", 12);
-  const char* mode = env_str("NBV6_FIREHOSE_MODE", "poisson");
+  cfg.residences = 64;
+  cfg.days = 14;
+  cfg.seed = 1;
+  cfg.arrival.ticks_per_hour = 12;
+  std::string mode = "poisson";
+  int threads = 0;
+
+  bench::Cli cli("firehose_throughput",
+                 "Streaming flow-firehose throughput measurement");
+  cli.flag_int("residences", &cfg.residences, "fleet size",
+               "NBV6_FIREHOSE_RESIDENCES");
+  cli.flag_int("days", &cfg.days, "simulated horizon in days",
+               "NBV6_FIREHOSE_DAYS");
+  cli.flag_int("threads", &threads, "worker lanes, 0 = hw concurrency",
+               "NBV6_FIREHOSE_THREADS");
+  cli.flag_int("tph", &cfg.arrival.ticks_per_hour, "arrival ticks per hour",
+               "NBV6_FIREHOSE_TPH");
+  cli.flag_string("mode", &mode, "arrival mode: batch|poisson|uniform",
+                  "NBV6_FIREHOSE_MODE");
+  cli.flag_u64("seed", &cfg.seed, "scenario master seed",
+               "NBV6_FIREHOSE_SEED");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
   if (!traffic::parse_arrival_mode(mode, cfg.arrival.mode)) {
-    std::fprintf(stderr, "unknown NBV6_FIREHOSE_MODE '%s'\n", mode);
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 2;
   }
 
-  const int threads = env_int("NBV6_FIREHOSE_THREADS", 0);
   auto catalog = traffic::build_paper_catalog();
   engine::Firehose hose(catalog, threads);
 
@@ -75,16 +74,16 @@ int main() {
       "firehose: %d residences x %d days, mode=%s tph=%d, %d lane(s)\n"
       "  %llu flows (%llu external) / %llu sessions in %.3f s\n"
       "  %.0f flows/sec, %.0f flows/sec/core\n",
-      cfg.residences, cfg.days, mode, cfg.arrival.ticks_per_hour, result.lanes,
-      static_cast<unsigned long long>(result.flows),
+      cfg.residences, cfg.days, mode.c_str(), cfg.arrival.ticks_per_hour,
+      result.lanes, static_cast<unsigned long long>(result.flows),
       static_cast<unsigned long long>(external),
       static_cast<unsigned long long>(result.totals.sessions), secs, fps,
       fps_core);
   std::printf(
       "RESULT residences=%d days=%d mode=%s tph=%d lanes=%d flows=%llu "
       "bytes=%llu seconds=%.6f flows_per_sec=%.1f flows_per_sec_per_core=%.1f\n",
-      cfg.residences, cfg.days, mode, cfg.arrival.ticks_per_hour, result.lanes,
-      static_cast<unsigned long long>(result.flows),
+      cfg.residences, cfg.days, mode.c_str(), cfg.arrival.ticks_per_hour,
+      result.lanes, static_cast<unsigned long long>(result.flows),
       static_cast<unsigned long long>(bytes), secs, fps, fps_core);
   return result.flows > 0 ? 0 : 1;
 }

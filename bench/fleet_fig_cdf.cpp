@@ -3,12 +3,12 @@
 // to a simulated fleet. Writes two CSVs (CDF curves, box/summary rows) for
 // plotting or CI artifact upload, and prints the summaries to stdout.
 //
-//   ./build/fleet_fig_cdf [cdf-out.csv] [summary-out.csv]
+//   ./build/fleet_fig_cdf [--residences=N --days=N --seed=S --threads=T]
+//                         [cdf-out.csv] [summary-out.csv]
 //
-// Scale knobs via environment (defaults in parentheses):
-//   NBV6_FLEET_RESIDENCES (256)  NBV6_FLEET_DAYS (14)
-//   NBV6_FLEET_SEED (20260726)   NBV6_FLEET_THREADS (0 = hw concurrency)
+// (See --help; the old NBV6_FLEET_* env knobs remain deprecated fallbacks.)
 #include <cstdio>
+#include <string>
 
 #include "core/fleet_analysis.h"
 #include "engine/fleet.h"
@@ -19,10 +19,16 @@
 using namespace nbv6;
 
 int main(int argc, char** argv) {
-  const char* cdf_path = argc > 1 ? argv[1] : "fleet_cdf.csv";
-  const char* summary_path = argc > 2 ? argv[2] : "fleet_summary.csv";
+  auto cfg = bench::default_bench_fleet();
+  std::string cdf_path = "fleet_cdf.csv";
+  std::string summary_path = "fleet_summary.csv";
+  bench::Cli cli("fleet_fig_cdf",
+                 "Population CDFs and summaries of per-residence metrics");
+  bench::register_fleet_flags(cli, cfg);
+  cli.positional("cdf-out.csv", &cdf_path, "CDF curves output");
+  cli.positional("summary-out.csv", &summary_path, "box/summary output");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
 
-  auto cfg = bench::fleet_config_from_env();
   bench::section("Fleet figure: population CDFs of per-residence metrics");
   auto catalog = traffic::build_paper_catalog();
   engine::FleetEngine fleet(catalog, cfg.threads);
@@ -38,18 +44,18 @@ int main(int argc, char** argv) {
     bench::print_boxplot(d.box, core::to_string(d.metric));
   }
 
-  std::FILE* cdf_out = std::fopen(cdf_path, "w");
-  std::FILE* summary_out = std::fopen(summary_path, "w");
+  std::FILE* cdf_out = std::fopen(cdf_path.c_str(), "w");
+  std::FILE* summary_out = std::fopen(summary_path.c_str(), "w");
   if (cdf_out == nullptr || summary_out == nullptr) {
-    std::fprintf(stderr, "cannot open %s / %s for writing\n", cdf_path,
-                 summary_path);
+    std::fprintf(stderr, "cannot open %s / %s for writing\n", cdf_path.c_str(),
+                 summary_path.c_str());
     return 1;
   }
   core::write_cdf_csv(cdf_out, dists);
   core::write_summary_csv(summary_out, dists);
   std::fclose(cdf_out);
   std::fclose(summary_out);
-  std::printf("\nwrote %s and %s\n", cdf_path, summary_path);
+  std::printf("\nwrote %s and %s\n", cdf_path.c_str(), summary_path.c_str());
 
   std::printf(
       "\nShape check vs paper: per-residence byte fractions spread widely "

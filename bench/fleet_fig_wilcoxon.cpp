@@ -8,10 +8,12 @@
 // per-day session stats behind he_failure_rate). Writes one TSV for
 // plotting or CI artifact upload and prints it to stdout.
 //
-//   ./build/fleet_fig_wilcoxon [panel-out.tsv]
+//   ./build/fleet_fig_wilcoxon [--residences=N --days=N --seed=S
+//                               --threads=T] [panel-out.tsv]
 //
-// Scale knobs via environment as in fleet_fig_cdf.
+// (See --help; the old NBV6_FLEET_* env knobs remain deprecated fallbacks.)
 #include <cstdio>
+#include <string>
 
 #include "core/fleet_analysis.h"
 #include "engine/fleet.h"
@@ -22,9 +24,14 @@
 using namespace nbv6;
 
 int main(int argc, char** argv) {
-  const char* panel_path = argc > 1 ? argv[1] : "fleet_wilcoxon.tsv";
+  auto cfg = bench::default_bench_fleet();
+  std::string panel_path = "fleet_wilcoxon.tsv";
+  bench::Cli cli("fleet_fig_wilcoxon",
+                 "Cross-fleet Wilcoxon group-comparison panels");
+  bench::register_fleet_flags(cli, cfg);
+  cli.positional("panel-out.tsv", &panel_path, "panel TSV output");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
 
-  auto cfg = bench::fleet_config_from_env();
   bench::section("Fleet figure: Wilcoxon group-comparison panels");
   auto catalog = traffic::build_paper_catalog();
   engine::FleetEngine fleet(catalog, cfg.threads);
@@ -34,9 +41,9 @@ int main(int argc, char** argv) {
 
   auto report = core::fleet_stats_report(result, fleet.pool());
 
-  std::FILE* out = std::fopen(panel_path, "w");
+  std::FILE* out = std::fopen(panel_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", panel_path);
+    std::fprintf(stderr, "cannot open %s for writing\n", panel_path.c_str());
     return 1;
   }
   bool first = true;
@@ -68,7 +75,7 @@ int main(int argc, char** argv) {
     core::write_panel_tsv(out, windows, first);
   }
   std::fclose(out);
-  std::printf("\nwrote %s\n", panel_path);
+  std::printf("\nwrote %s\n", panel_path.c_str());
 
   std::printf(
       "\nShape check vs paper: the broken-CPE and v4-only strata sit far "

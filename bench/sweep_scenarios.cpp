@@ -1,0 +1,170 @@
+// Scenario sweep driver: an N-variant what-if forest off one base scenario,
+// executed on the pass-graph pipeline (engine/pipeline.h +
+// core/scenario_pipeline.h) with a shared pass cache.
+//
+// Every variant keeps the base population slice and differs only in its
+// timeline (variant v > 0 appends one cpe_fix wave with a variant-specific
+// repair fraction), so all N "sample" passes digest identically: the base
+// population is sampled exactly once for the whole forest, every other
+// variant binds the cached value. The driver *asserts* that via the
+// per-pass execution counters — if sampling ran more than once the reuse
+// machinery is broken and the run exits non-zero. A warm re-run of the
+// first variant then demonstrates the fully-cached fixpoint (zero
+// executed passes).
+//
+//   ./build/sweep_scenarios [--variants=25 --lanes=0 --residences=48
+//                            --days=14 --seed=20260808 --outdir=DIR
+//                            --scenario=base.cfg]
+//
+// With --outdir, each variant also renders its panel/CDF/summary files
+// there through the uncached sink passes. With --scenario, the base config
+// is loaded from a scenario file instead of the embedded defaults.
+//
+// Output ends with one machine-greppable `RESULT` line (the CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_cli.h"
+#include "core/scenario_pipeline.h"
+#include "engine/fleet.h"
+#include "engine/pipeline.h"
+#include "engine/run_spec.h"
+#include "engine/thread_pool.h"
+#include "traffic/service_catalog.h"
+
+using namespace nbv6;
+
+int main(int argc, char** argv) {
+  int variants = 25;
+  int lanes = 0;
+  std::string outdir;
+  std::string scenario_path;
+  engine::FleetConfig base;
+  base.residences = 48;
+  base.days = 14;
+  base.seed = 20260808;
+
+  bench::Cli cli("sweep_scenarios",
+                 "What-if scenario forest on the shared-cache pass pipeline");
+  cli.flag_int("variants", &variants, "what-if variants to run");
+  cli.flag_int("lanes", &lanes, "worker lanes, 0 = hw concurrency");
+  cli.flag_int("residences", &base.residences, "base fleet size");
+  cli.flag_int("days", &base.days, "base horizon in days");
+  cli.flag_u64("seed", &base.seed, "base scenario master seed");
+  cli.flag_string("outdir", &outdir,
+                  "also render per-variant panel/CDF/summary files here");
+  cli.flag_string("scenario", &scenario_path,
+                  "load the base config from this scenario file");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  if (variants < 1) {
+    std::fprintf(stderr, "--variants must be >= 1\n");
+    return 2;
+  }
+  if (!outdir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --outdir %s: %s\n", outdir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+  }
+  if (!scenario_path.empty()) {
+    std::string error;
+    auto loaded = engine::FleetConfig::load(scenario_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "%s: %s\n", scenario_path.c_str(), error.c_str());
+      return 2;
+    }
+    base = *loaded;
+  }
+
+  const auto catalog = traffic::build_paper_catalog();
+  std::unique_ptr<engine::ThreadPool> pool;
+  if (lanes <= 0) lanes = engine::FleetEngine(catalog, 0).lanes();
+  if (lanes > 1) pool = std::make_unique<engine::ThreadPool>(lanes - 1);
+
+  std::printf("sweep: %d variants of %d residences x %d days on %d lane(s)\n",
+              variants, base.residences, base.days, lanes);
+
+  // One pipeline per variant, one cache for the forest. Variant v > 0
+  // appends a cpe_fix wave whose repair fraction sweeps (0, 1]: only the
+  // timeline slice changes, so sample stays digest-identical across the
+  // whole forest while timeline/simulate/analysis re-run per variant.
+  engine::PassCache cache;
+  std::vector<std::unique_ptr<engine::Pipeline>> pipes;
+  std::size_t executed = 0;
+  std::size_t cached = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int v = 0; v < variants; ++v) {
+    engine::FleetConfig cfg = base;
+    if (v > 0) {
+      engine::TimelineEvent fix;
+      fix.kind = engine::TimelineEventKind::cpe_fix;
+      fix.start_day = cfg.days / 4;
+      fix.end_day = cfg.days - 1;
+      fix.fraction = static_cast<double>(v) / variants;
+      cfg.timeline.events.push_back(fix);
+    }
+    core::ScenarioPassOptions opts;
+    opts.sink_dir = outdir;
+    opts.scenario_tag = "variant_" + std::to_string(v);
+    pipes.push_back(std::make_unique<engine::Pipeline>(
+        core::make_scenario_pipeline(cfg, catalog, opts)));
+    const auto stats = pipes.back()->run(&cache, pool.get());
+    executed += stats.executed;
+    cached += stats.cached;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  // The tentpole invariant: the base population was sampled exactly once
+  // across the whole forest.
+  std::uint64_t sample_execs = 0;
+  for (const auto& p : pipes) sample_execs += p->executions("sample");
+  if (sample_execs != 1) {
+    std::fprintf(stderr,
+                 "FAIL: sample pass executed %llu times across %d variants "
+                 "(expected exactly 1 — shared-pass reuse is broken)\n",
+                 static_cast<unsigned long long>(sample_execs), variants);
+    return 1;
+  }
+
+  // Warm re-run of the base variant: every cacheable pass must hit.
+  const auto warm = pipes[0]->run(&cache, pool.get());
+  const std::size_t sinks = outdir.empty() ? 0 : 3;
+  if (warm.executed != sinks) {
+    std::fprintf(stderr,
+                 "FAIL: warm re-run executed %zu passes (expected %zu)\n",
+                 warm.executed, sinks);
+    return 1;
+  }
+
+  // Spot equivalence: the pipelined base result matches the standalone
+  // engine path on the horizon totals (byte-level identity across lane
+  // counts is pinned by pipeline_test's golden-parity suite).
+  const auto& piped = pipes[0]->output<engine::FleetResult>("fleet_result");
+  engine::FleetEngine standalone(catalog, lanes);
+  const auto direct = standalone.run(base);
+  if (piped.totals.sessions != direct.totals.sessions ||
+      piped.totals.flows != direct.totals.flows ||
+      piped.totals.he_failures != direct.totals.he_failures) {
+    std::fprintf(stderr, "FAIL: pipelined totals diverge from standalone\n");
+    return 1;
+  }
+
+  std::printf(
+      "  base sampled once; %zu passes executed, %zu served from cache\n"
+      "  warm re-run: %zu executed / %zu cached; cache holds %zu results\n",
+      executed, cached, warm.executed, warm.cached, cache.size());
+  std::printf(
+      "RESULT variants=%d lanes=%d sample_executions=%llu passes_executed=%zu "
+      "passes_cached=%zu warm_executed=%zu cache_entries=%zu seconds=%.6f\n",
+      variants, lanes, static_cast<unsigned long long>(sample_execs), executed,
+      cached, warm.executed, cache.size(), secs);
+  return 0;
+}

@@ -4,10 +4,18 @@
 // web universe (web/universe.h) registers A, AAAA, and CNAME records here,
 // and the crawler + cloud analyses resolve against it. Names are normalized
 // to lowercase without a trailing dot.
+//
+// Storage is an interning store: entries live in one dense vector and an
+// open-addressing slot table (linear probing over FNV-1a name hashes) maps
+// canonical names to entry indices. Resolution chains probe the flat table
+// instead of walking a red-black tree — BM_DnsResolveChain's hot path is a
+// hash and a few contiguous slot reads per hop rather than O(log n)
+// pointer-chasing string compares. The sorted iteration order
+// for_each_name has always promised is preserved via a lazily rebuilt
+// sorted index.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,7 +63,7 @@ class ZoneDb {
   /// True when the name owns any record at all.
   [[nodiscard]] bool exists(std::string_view name) const;
 
-  /// Everything one resolution hop needs from a single map probe. Views
+  /// Everything one resolution hop needs from a single table probe. Views
   /// and pointers reference the zone's own storage: valid until the zone
   /// is modified.
   struct NameView {
@@ -71,11 +79,13 @@ class ZoneDb {
   /// Visit every name in the database (canonical form, sorted).
   template <typename Fn>
   void for_each_name(Fn&& fn) const {
-    for (const auto& [name, entry] : entries_) fn(name);
+    ensure_sorted();
+    for (std::uint32_t idx : sorted_) fn(entries_[idx].name);
   }
 
  private:
   struct Entry {
+    std::string name;  ///< canonical owner name (the interned key)
     std::vector<net::IPv4Addr> a;
     std::vector<net::IPv6Addr> aaaa;
     std::string cname;  // empty = none
@@ -84,13 +94,36 @@ class ZoneDb {
     }
   };
 
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+  static std::uint64_t hash_name(std::string_view name);
+
   /// Heterogeneous lookup: canonical names (the overwhelmingly common case
   /// — every stored record and every CNAME target is canonical) probe the
-  /// transparent-comparator map directly from the string_view; only
-  /// non-canonical queries pay for a canonicalized copy.
+  /// slot table directly from the string_view; only non-canonical queries
+  /// pay for a canonicalized copy.
   [[nodiscard]] const Entry* find_entry(std::string_view name) const;
+  [[nodiscard]] std::uint32_t find_index(std::string_view canon) const;
 
-  std::map<std::string, Entry, std::less<>> entries_;
+  /// Find-or-insert the entry for an already-canonical name.
+  Entry& intern(std::string canon);
+  /// Rebuild the slot table at double capacity (or the initial 16).
+  void grow_slots();
+  /// Swap-pop `idx` out of the dense store, patching both affected slots
+  /// (backward-shift deletion keeps every probe chain intact).
+  void erase_entry(std::uint32_t idx);
+
+  void ensure_sorted() const;
+
+  /// Dense record store; erasure swap-pops, so indices are not stable.
+  std::vector<Entry> entries_;
+  /// Open-addressing table: entry index + 1, 0 = empty. Power-of-two size,
+  /// linear probing, grown past 3/4 load.
+  std::vector<std::uint32_t> slots_;
+  /// Entry indices in name order, rebuilt lazily after mutations — keeps
+  /// for_each_name's sorted contract without ordering the hot path.
+  mutable std::vector<std::uint32_t> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace nbv6::dns

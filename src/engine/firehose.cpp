@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <thread>
 
-#include "traffic/arrival.h"
+#include "engine/run_spec.h"
 
 namespace nbv6::engine {
 
@@ -18,74 +18,15 @@ Firehose::Firehose(const traffic::ServiceCatalog& catalog, int threads)
 }
 
 Firehose::Result Firehose::run(const FleetConfig& cfg, const Sink& sink) {
-  SampledFleet fleet = sample_fleet_detailed(cfg, *catalog_);
-  apply_timeline(fleet, cfg.timeline, cfg.seed, cfg.days,
-                 TimelinePlanMode::lazy);
-
-  const size_t n = fleet.configs.size();
-  std::vector<traffic::ResidenceSimulator> sims;
-  sims.reserve(n);
-  for (const auto& rc : fleet.configs) sims.emplace_back(*catalog_, rc);
-  std::vector<FlowEventBuffer> buffers(n);
-  for (auto& sim : sims) sim.begin_run();
-
-  // Slots per day: hours in batch mode, ticks otherwise (the same clamp
-  // the generator's tick loop applies).
-  const int tph = cfg.arrival.mode == traffic::ArrivalMode::batch
-                      ? 1
-                      : std::clamp(cfg.arrival.ticks_per_hour, 1, 3600);
-  const int slots_per_day = 24 * tph;
-
-  Result out;
-  out.lanes = lanes_;
-  std::vector<size_t> cursor(n);
-
-  for (int day = 0; day < cfg.days; ++day) {
-    // Lanes fill per-residence buffers independently (no shared state);
-    // determinism comes from the merge below, not the fill order.
-    auto run_one = [&](std::size_t i) { sims[i].run_day(buffers[i], day); };
-    if (pool_) {
-      pool_->parallel_for(n, run_one);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) run_one(i);
-    }
-
-    // Canonical merge: tick-major, residence index, generation order.
-    // Each buffer's records are already tick-sorted (ticks are simulated
-    // in order), so this is a linear cursor sweep, not a sort.
-    std::fill(cursor.begin(), cursor.end(), size_t{0});
-    for (int tick = 0; tick < slots_per_day; ++tick) {
-      for (size_t i = 0; i < n; ++i) {
-        auto& ev = buffers[i].events();
-        size_t& c = cursor[i];
-        while (c < ev.size() && ev[c].tick <= tick) {
-          ev[c].residence = static_cast<std::uint32_t>(i);
-          sink(ev[c]);
-          ++out.flows;
-          ++c;
-        }
-      }
-    }
-    // Defensive drain: nothing should remain past the last slot, but a
-    // record must never be dropped silently.
-    for (size_t i = 0; i < n; ++i) {
-      auto& ev = buffers[i].events();
-      for (size_t& c = cursor[i]; c < ev.size(); ++c) {
-        ev[c].residence = static_cast<std::uint32_t>(i);
-        sink(ev[c]);
-        ++out.flows;
-      }
-    }
-    for (auto& b : buffers) b.clear();
-  }
-
-  const auto horizon =
-      static_cast<flowmon::Timestamp>(cfg.days) * flowmon::kSecondsPerDay;
-  for (size_t i = 0; i < n; ++i) {
-    buffers[i].flush(horizon);
-    out.totals += sims[i].stats();
-  }
-  return out;
+  // Compatibility wrapper: the streaming loop lives in engine/run_spec.cpp
+  // (stream_fleet), selected by RunSpec::firehose.
+  RunOutput out =
+      RunSpec(cfg).firehose(sink).run_on(*catalog_, pool_.get(), lanes_);
+  Result r;
+  r.flows = out.flows_streamed;
+  r.lanes = out.lanes;
+  r.totals = std::move(out.totals);
+  return r;
 }
 
 }  // namespace nbv6::engine

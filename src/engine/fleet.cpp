@@ -4,12 +4,11 @@
 #include <fstream>
 #include <set>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
-#include "engine/flat_conntrack.h"
-#include "stats/rng.h"
+#include "engine/run_spec.h"
 
 namespace nbv6::engine {
 
@@ -155,74 +154,10 @@ std::vector<traffic::ResidenceConfig> sample_fleet(
 
 SampledFleet sample_fleet_detailed(const FleetConfig& cfg,
                                    const traffic::ServiceCatalog& catalog) {
-  SampledFleet out;
-  out.configs.reserve(static_cast<size_t>(cfg.residences));
-  out.traits.reserve(static_cast<size_t>(cfg.residences));
-
-  for (int i = 0; i < cfg.residences; ++i) {
-    // Residence i's sampling stream depends only on (seed, i): stable under
-    // population resizes and independent of evaluation order.
-    std::uint64_t state =
-        cfg.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1));
-    stats::Rng rng(stats::splitmix64(state));
-
-    traffic::ResidenceConfig r;
-    r.name = "R" + std::to_string(i);
-    r.days = cfg.days;
-    r.arrival = cfg.arrival;
-    r.seed = stats::splitmix64(state);  // simulator stream, distinct from sampler's
-
-    ResidenceTraits t;
-    const bool v6_isp = t.dual_stack_isp = rng.chance(cfg.dual_stack_isp_frac);
-    const bool vacant = t.vacant = rng.chance(cfg.background_only_frac);
-    const bool heavy = t.heavy_streamer = rng.chance(cfg.heavy_streamer_frac);
-
-    r.activity_scale =
-        vacant ? 0.0
-               : rng.uniform(cfg.activity_scale_min, cfg.activity_scale_max);
-    if (!v6_isp) {
-      r.device_v6_ok_frac = 0.0;  // no delegated prefix, nothing to be ok
-      r.internal_v6_frac = rng.uniform(0.0, 0.25);  // link-local-ish only
-    } else {
-      t.broken_v6 = rng.chance(cfg.broken_v6_frac);
-      r.device_v6_ok_frac = t.broken_v6 ? rng.uniform(0.2, 0.6) : 1.0;
-      r.internal_v6_frac = rng.uniform(0.25, 0.98);
-    }
-    t.opt_out = rng.chance(cfg.opt_out_frac);
-    if (t.opt_out) r.visibility = rng.uniform(0.3, 0.8);
-    r.internal_flows_per_hour = rng.uniform(0.4, 6.0);
-    r.background_v4_bias = rng.uniform(0.05, 0.9);
-
-    // Service-mix tilt: heavy streamers boost every streaming/download
-    // service; everyone else gets a mild random tilt over a few services.
-    if (heavy) {
-      for (const auto& s : catalog.services()) {
-        if (s.profile == traffic::TrafficProfile::streaming ||
-            s.profile == traffic::TrafficProfile::download) {
-          r.service_weight_overrides.emplace_back(s.name,
-                                                  rng.uniform(2.0, 8.0));
-        }
-      }
-    } else {
-      for (int k = 0; k < 3; ++k) {
-        size_t idx = static_cast<size_t>(rng.below(catalog.size()));
-        r.service_weight_overrides.emplace_back(catalog.at(idx).name,
-                                                rng.uniform(0.5, 3.0));
-      }
-    }
-
-    // One scripted absence window when the horizon has room for it.
-    if (cfg.days > 14 && rng.chance(cfg.absence_prob)) {
-      t.scripted_absence = true;
-      int len = static_cast<int>(rng.between(2, 7));
-      int first = static_cast<int>(rng.between(3, cfg.days - len - 3));
-      r.away_day_ranges.push_back({first, first + len - 1});
-    }
-
-    out.configs.push_back(std::move(r));
-    out.traits.push_back(t);
-  }
-  return out;
+  // Compatibility wrapper: the sampling loop itself lives in
+  // engine/run_spec.cpp (sample_stage), the RunDetail::sample stage of the
+  // unified run entry point.
+  return RunSpec(cfg).detail(RunDetail::sample).run(catalog).sampled;
 }
 
 FleetEngine::FleetEngine(const traffic::ServiceCatalog& catalog, int threads)
@@ -238,54 +173,19 @@ FleetEngine::FleetEngine(const traffic::ServiceCatalog& catalog, int threads)
 
 FleetResult FleetEngine::run(
     const std::vector<traffic::ResidenceConfig>& configs) {
-  FleetResult out;
-  out.residences.resize(configs.size());
-
-  // One shard per residence: private RNG (seeded from the config), private
-  // flat conntrack table, private monitor. The slot vector is preallocated,
-  // so each monitor is attached at its final address and never moves while
-  // its table is alive.
-  auto run_one = [&](std::size_t i) {
-    ResidenceRun& slot = out.residences[i];
-    slot.config = configs[i];
-    FlatConntrack table;
-    slot.monitor.attach(table);
-    traffic::ResidenceSimulator sim(*catalog_, configs[i]);
-    slot.stats = sim.run(table);
-  };
-
-  if (pool_) {
-    pool_->parallel_for(configs.size(), run_one);
-  } else {
-    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
-  }
-
-  // Fixed-order reduction: counter merges are associative and commutative,
-  // so the fold order only matters for retained records (none here) — the
-  // fleet view is bit-identical for any lane count.
-  for (const auto& run : out.residences) {
-    out.fleet.merge(run.monitor);
-    out.totals += run.stats;  // horizon totals + the per-day series
-  }
-  return out;
+  return simulate_fleet(*catalog_, configs, pool_.get());
 }
 
 FleetResult FleetEngine::run(const SampledFleet& fleet) {
-  // Traits index into the residence vector downstream (group comparisons),
-  // so a hand-built SampledFleet with mismatched sizes must fail here, not
-  // as an out-of-bounds read later.
-  if (fleet.traits.size() != fleet.configs.size())
-    throw std::invalid_argument(
-        "FleetEngine::run: SampledFleet traits/configs size mismatch");
-  FleetResult out = run(fleet.configs);
-  out.traits = fleet.traits;
-  return out;
+  return simulate_fleet(*catalog_, fleet, pool_.get());
 }
 
 FleetResult FleetEngine::run(const FleetConfig& cfg, TimelinePlanMode mode) {
-  SampledFleet sampled = sample_fleet_detailed(cfg, *catalog_);
-  apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days, mode);
-  return run(sampled);
+  // Compatibility wrapper over the unified entry point, borrowing this
+  // engine's pool so repeated runs keep reusing one set of workers.
+  return std::move(*RunSpec(cfg).plan_mode(mode)
+                        .run_on(*catalog_, pool_.get(), lanes_)
+                        .result);
 }
 
 }  // namespace nbv6::engine

@@ -156,6 +156,9 @@ struct FleetResult {
   traffic::SimulationStats totals;
 };
 
+/// Batch aggregation engine. Since the RunSpec unification
+/// (engine/run_spec.h) this is a pool-owning convenience over the shared
+/// stage functions — run(FleetConfig) is a thin wrapper over RunSpec.
 class FleetEngine {
  public:
   /// `threads` as FleetConfig::threads.

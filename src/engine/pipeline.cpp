@@ -1,0 +1,227 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace nbv6::engine {
+
+DigestBuilder& DigestBuilder::f64(double v) {
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+// ----------------------------------------------------------------- cache
+
+const std::vector<PipelineValue>* PassCache::find(std::uint64_t digest) const {
+  auto it = map_.find(digest);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void PassCache::store(std::uint64_t digest, std::vector<PipelineValue> outputs) {
+  map_[digest] = std::move(outputs);
+}
+
+// --------------------------------------------------------------- context
+
+const PipelineValue& PassContext::input_value(std::string_view name) const {
+  for (std::size_t i = 0; i < input_names_->size(); ++i) {
+    if ((*input_names_)[i] == name) return *(*inputs_)[i];
+  }
+  throw std::logic_error("pass reads undeclared input '" + std::string(name) +
+                         "'");
+}
+
+void PassContext::set_output(std::string_view name, PipelineValue v) {
+  for (std::size_t i = 0; i < output_names_->size(); ++i) {
+    if ((*output_names_)[i] == name) {
+      if ((*outputs_)[i].has_value())
+        throw std::logic_error("pass sets output '" + std::string(name) +
+                               "' twice");
+      (*outputs_)[i] = std::move(v);
+      return;
+    }
+  }
+  throw std::logic_error("pass sets undeclared output '" + std::string(name) +
+                         "'");
+}
+
+// -------------------------------------------------------------- pipeline
+
+Pipeline& Pipeline::add(Pass pass) {
+  if (!pass.run)
+    throw std::invalid_argument("pass '" + pass.name + "' has no run function");
+  for (const auto& n : nodes_) {
+    if (n.pass.name == pass.name)
+      throw std::invalid_argument("duplicate pass name '" + pass.name + "'");
+  }
+  for (const auto& out : pass.outputs) {
+    if (producer_.contains(out))
+      throw std::invalid_argument("resource '" + out +
+                                  "' already has a producer");
+  }
+  const std::size_t idx = nodes_.size();
+  for (const auto& out : pass.outputs) producer_.emplace(out, idx);
+  nodes_.push_back(Node{std::move(pass), 0, 0});
+  order_valid_ = false;
+  return *this;
+}
+
+Pipeline& Pipeline::replace(const Pass& pass) {
+  const std::size_t idx = index_of(pass.name);
+  if (!pass.run)
+    throw std::invalid_argument("pass '" + pass.name + "' has no run function");
+  // Re-key the producer map: the replacement may rename outputs.
+  for (const auto& out : nodes_[idx].pass.outputs) producer_.erase(out);
+  for (const auto& out : pass.outputs) {
+    if (producer_.contains(out)) {
+      // Roll back before throwing so the pipeline stays consistent.
+      for (const auto& old : nodes_[idx].pass.outputs)
+        producer_.emplace(old, idx);
+      throw std::invalid_argument("resource '" + out +
+                                  "' already has a producer");
+    }
+  }
+  for (const auto& out : pass.outputs) producer_.emplace(out, idx);
+  nodes_[idx].pass = pass;
+  order_valid_ = false;
+  return *this;
+}
+
+void Pipeline::set_config_digest(std::string_view pass, std::uint64_t digest) {
+  nodes_[index_of(pass)].pass.config_digest = digest;
+}
+
+std::size_t Pipeline::index_of(std::string_view pass) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].pass.name == pass) return i;
+  }
+  throw std::invalid_argument("unknown pass '" + std::string(pass) + "'");
+}
+
+void Pipeline::ensure_order() {
+  if (order_valid_) return;
+  order_.clear();
+  order_.reserve(nodes_.size());
+
+  // Kahn's algorithm over producer edges, visiting ready passes in
+  // registration order so the schedule is deterministic.
+  std::vector<std::size_t> pending(nodes_.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& in : nodes_[i].pass.inputs) {
+      auto it = producer_.find(in);
+      if (it == producer_.end())
+        throw std::invalid_argument("pass '" + nodes_[i].pass.name +
+                                    "' consumes resource '" + in +
+                                    "' that no pass produces");
+      dependents[it->second].push_back(i);
+      ++pending[i];
+    }
+  }
+  std::vector<bool> scheduled(nodes_.size(), false);
+  bool progressed = true;
+  while (order_.size() < nodes_.size() && progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (scheduled[i] || pending[i] != 0) continue;
+      scheduled[i] = true;
+      order_.push_back(i);
+      for (std::size_t dep : dependents[i]) --pending[dep];
+      progressed = true;
+    }
+  }
+  if (order_.size() < nodes_.size()) {
+    std::string cyclic;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!scheduled[i]) cyclic += (cyclic.empty() ? "" : ", ") + nodes_[i].pass.name;
+    }
+    throw std::invalid_argument("dependency cycle among passes: " + cyclic);
+  }
+  order_valid_ = true;
+}
+
+Pipeline::RunStats Pipeline::run(PassCache* cache, ThreadPool* pool) {
+  ensure_order();
+  bound_.clear();
+
+  RunStats stats;
+  stats.passes.reserve(order_.size());
+  // Per-resource digests for the digest cascade: a resource's digest is
+  // its producing pass's digest folded with the output's position.
+  std::unordered_map<std::string, std::uint64_t> resource_digest;
+
+  for (std::size_t idx : order_) {
+    Node& node = nodes_[idx];
+    const Pass& pass = node.pass;
+
+    DigestBuilder db;
+    db.str(pass.name).u64(pass.config_digest);
+    for (const auto& in : pass.inputs) db.u64(resource_digest.at(in));
+    const std::uint64_t digest = db.value();
+    node.last_digest = digest;
+    for (std::size_t o = 0; o < pass.outputs.size(); ++o) {
+      resource_digest[pass.outputs[o]] =
+          DigestBuilder().u64(digest).u64(o).value();
+    }
+
+    const std::vector<PipelineValue>* hit =
+        (cache != nullptr && pass.cache_outputs) ? cache->find(digest)
+                                                 : nullptr;
+    if (hit != nullptr) {
+      for (std::size_t o = 0; o < pass.outputs.size(); ++o)
+        bound_[pass.outputs[o]] = (*hit)[o];
+      ++stats.cached;
+      stats.passes.push_back({pass.name, digest, true});
+      continue;
+    }
+
+    std::vector<PipelineValue*> inputs;
+    inputs.reserve(pass.inputs.size());
+    for (const auto& in : pass.inputs) inputs.push_back(&bound_.at(in));
+    std::vector<PipelineValue> outputs(pass.outputs.size());
+
+    PassContext ctx;
+    ctx.input_names_ = &pass.inputs;
+    ctx.inputs_ = &inputs;
+    ctx.output_names_ = &pass.outputs;
+    ctx.outputs_ = &outputs;
+    ctx.pool_ = pool;
+    pass.run(ctx);
+
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      if (!outputs[o].has_value())
+        throw std::logic_error("pass '" + pass.name +
+                               "' did not set declared output '" +
+                               pass.outputs[o] + "'");
+      bound_[pass.outputs[o]] = outputs[o];
+    }
+    if (cache != nullptr && pass.cache_outputs)
+      cache->store(digest, std::move(outputs));
+    ++node.executions;
+    ++stats.executed;
+    stats.passes.push_back({pass.name, digest, false});
+  }
+  return stats;
+}
+
+const PipelineValue& Pipeline::output_value(std::string_view resource) const {
+  auto it = bound_.find(std::string(resource));
+  if (it == bound_.end())
+    throw std::logic_error("resource '" + std::string(resource) +
+                           "' is not bound (unknown, or the pipeline has not "
+                           "run)");
+  return it->second;
+}
+
+std::uint64_t Pipeline::executions(std::string_view pass) const {
+  return nodes_[index_of(pass)].executions;
+}
+
+std::vector<std::string> Pipeline::schedule() {
+  ensure_order();
+  std::vector<std::string> out;
+  out.reserve(order_.size());
+  for (std::size_t idx : order_) out.push_back(nodes_[idx].pass.name);
+  return out;
+}
+
+}  // namespace nbv6::engine

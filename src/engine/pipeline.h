@@ -1,0 +1,255 @@
+// Pass-graph pipeline runtime: the scenario pipeline as an explicit DAG.
+//
+// Every experiment binary used to hard-wire the same chain — sample →
+// timeline → simulate → reduce → extract → panels → figure files — with its
+// own entry point and knobs. This module makes the chain a data structure,
+// modeled on render-graph pass registration: each *pass* declares the named
+// *resources* it consumes and produces plus a digest of the config slice it
+// reads; the runtime topologically orders the passes, content-hashes each
+// one over (pass name, config slice, upstream output digests), and consults
+// a shared PassCache before executing. Two consequences fall out:
+//
+//   - Shared sub-results across scenario variants. Fifty what-if variants
+//     of one base scenario differ only in their timeline slice, so their
+//     "sample" passes digest identically — the base population is sampled
+//     once and every variant binds the cached value (asserted by the sweep
+//     driver's per-pass execution counters).
+//   - Dirty-node sweeps. Changing one timeline parameter changes the
+//     timeline pass's config digest, which cascades through downstream
+//     digests; upstream passes keep hitting the cache and only the dirty
+//     suffix re-executes. Re-running an unchanged pipeline executes
+//     nothing at all.
+//
+// Digests deliberately exclude lane count and pool identity: every stage is
+// bit-identical for any lane count (the replay guarantee the golden suite
+// pins), so a cached result is valid across thread configurations.
+//
+// The runtime is type-agnostic (PipelineValue erases the payload); the
+// standard scenario passes are registered by core/scenario_pipeline.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/thread_pool.h"
+
+namespace nbv6::engine {
+
+// --------------------------------------------------------------- digests
+
+/// FNV-1a accumulator for pass config-slice digests. Doubles are folded by
+/// bit pattern, so a digest is equal iff every input is bit-identical —
+/// the same equality the golden serializer uses.
+class DigestBuilder {
+ public:
+  DigestBuilder& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  DigestBuilder& i64(std::int64_t v) {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+  DigestBuilder& f64(double v);  // bit pattern, not value
+  DigestBuilder& str(std::string_view s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= 0x100000001b3ull;
+    }
+    return u64(s.size());  // length-delimit: "ab","c" != "a","bc"
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+// ---------------------------------------------------------------- values
+
+/// Type-erased, immutable, shareable pass result. Cache entries and bound
+/// resources hold the same shared payload, so a cache hit never copies.
+class PipelineValue {
+ public:
+  PipelineValue() = default;
+
+  template <typename T>
+  static PipelineValue wrap(T value) {
+    PipelineValue v;
+    v.ptr_ = std::make_shared<const T>(std::move(value));
+    v.type_ = &typeid(T);
+    return v;
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    if (ptr_ == nullptr)
+      throw std::logic_error("PipelineValue::get on an empty value");
+    if (*type_ != typeid(T))
+      throw std::logic_error(std::string("PipelineValue::get type mismatch: "
+                                         "held ") +
+                             type_->name() + ", asked for " + typeid(T).name());
+    return *static_cast<const T*>(ptr_.get());
+  }
+
+  [[nodiscard]] bool has_value() const { return ptr_ != nullptr; }
+
+ private:
+  std::shared_ptr<const void> ptr_;
+  const std::type_info* type_ = nullptr;
+};
+
+// ----------------------------------------------------------------- cache
+
+/// Content-addressed pass-result store, shared across pipelines (the
+/// vehicle for cross-variant reuse in scenario sweeps). Keyed by the pass
+/// digest; the value is the pass's output list, output-index aligned.
+class PassCache {
+ public:
+  /// nullptr on miss; the entry pointer stays valid until the next store.
+  [[nodiscard]] const std::vector<PipelineValue>* find(
+      std::uint64_t digest) const;
+  void store(std::uint64_t digest, std::vector<PipelineValue> outputs);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<PipelineValue>> map_;
+};
+
+// ---------------------------------------------------------------- passes
+
+class Pipeline;
+
+/// What a pass's run function sees: its bound inputs, a place to put its
+/// outputs, and the run's worker pool.
+class PassContext {
+ public:
+  /// Input resource by name; throws std::logic_error if the pass did not
+  /// declare it (undeclared reads would break digest soundness).
+  template <typename T>
+  [[nodiscard]] const T& in(std::string_view resource) const {
+    return input_value(resource).get<T>();
+  }
+  /// Bind one declared output. Every declared output must be set exactly
+  /// once; the runtime throws otherwise.
+  template <typename T>
+  void out(std::string_view resource, T value) {
+    set_output(resource, PipelineValue::wrap(std::move(value)));
+  }
+
+  /// The run's pool; nullptr = sequential. Passes must produce
+  /// lane-invariant results (everything built on the fleet stages does).
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
+
+  [[nodiscard]] const PipelineValue& input_value(std::string_view name) const;
+  void set_output(std::string_view name, PipelineValue v);
+
+ private:
+  friend class Pipeline;
+  const std::vector<std::string>* input_names_ = nullptr;
+  const std::vector<PipelineValue*>* inputs_ = nullptr;
+  const std::vector<std::string>* output_names_ = nullptr;
+  std::vector<PipelineValue>* outputs_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+};
+
+/// One registered pass. `config_digest` must cover every configuration
+/// input the run function reads that is not a declared resource — it is
+/// the pass's half of the content hash, so an undigested config read makes
+/// cache reuse unsound.
+struct Pass {
+  std::string name;                   ///< unique within the pipeline
+  std::vector<std::string> inputs;    ///< resource names consumed
+  std::vector<std::string> outputs;   ///< resource names produced (unique)
+  std::uint64_t config_digest = 0;
+  /// false = sink/side-effecting pass: never cached, re-executes every run
+  /// (its outputs still participate in scheduling and downstream digests).
+  bool cache_outputs = true;
+  std::function<void(PassContext&)> run;
+};
+
+// -------------------------------------------------------------- pipeline
+
+class Pipeline {
+ public:
+  /// Register a pass. Throws std::invalid_argument on a duplicate pass
+  /// name, a duplicate output resource, or a missing run function.
+  Pipeline& add(Pass pass);
+
+  /// Replace a registered pass wholesale (same-name passes swap in place,
+  /// keeping execution counters) — the in-place path for dirty-node
+  /// experiments. Throws std::invalid_argument if no such pass exists.
+  Pipeline& replace(const Pass& pass);
+
+  /// Update just the config digest of `pass` (marks it — and transitively
+  /// everything downstream — dirty on the next run if the digest changed).
+  /// Only sound when the pass's run function reads the changed config via
+  /// shared state; passes that capture config by value need replace().
+  void set_config_digest(std::string_view pass, std::uint64_t digest);
+
+  struct PassRun {
+    std::string pass;
+    std::uint64_t digest = 0;
+    bool cached = false;
+  };
+  struct RunStats {
+    std::size_t executed = 0;
+    std::size_t cached = 0;
+    std::vector<PassRun> passes;  ///< in schedule order
+  };
+
+  /// Execute every pass in topological order. With a cache, digest-matching
+  /// passes bind their cached outputs instead of running. Throws
+  /// std::invalid_argument on an input no pass produces and on dependency
+  /// cycles. `pool` is handed to pass contexts; it never affects results.
+  RunStats run(PassCache* cache = nullptr, ThreadPool* pool = nullptr);
+
+  /// A resource bound by the last run. Throws std::logic_error when the
+  /// resource is unknown or the pipeline has not run yet.
+  [[nodiscard]] const PipelineValue& output_value(
+      std::string_view resource) const;
+  template <typename T>
+  [[nodiscard]] const T& output(std::string_view resource) const {
+    return output_value(resource).get<T>();
+  }
+
+  /// Lifetime count of actual executions (cache hits excluded) of `pass`.
+  [[nodiscard]] std::uint64_t executions(std::string_view pass) const;
+
+  /// Pass names in the schedule order the last run used (or the order the
+  /// next run will use, computed on demand).
+  [[nodiscard]] std::vector<std::string> schedule();
+
+  [[nodiscard]] std::size_t pass_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Pass pass;
+    std::uint64_t executions = 0;
+    std::uint64_t last_digest = 0;
+  };
+
+  std::size_t index_of(std::string_view pass) const;
+  void ensure_order();
+
+  std::vector<Node> nodes_;
+  /// resource name -> producing node index.
+  std::unordered_map<std::string, std::size_t> producer_;
+  /// Topological schedule (registration order among independent passes).
+  std::vector<std::size_t> order_;
+  bool order_valid_ = false;
+  /// resource name -> value bound by the last run.
+  std::unordered_map<std::string, PipelineValue> bound_;
+};
+
+}  // namespace nbv6::engine

@@ -1,6 +1,8 @@
 #include "traffic/service_catalog.h"
 
+#include <bit>
 #include <cassert>
+#include <string_view>
 
 namespace nbv6::traffic {
 
@@ -80,6 +82,42 @@ std::optional<size_t> ServiceCatalog::find_by_asn(net::Asn asn) const {
   for (size_t i = 0; i < services_.size(); ++i)
     if (services_[i].asn == asn) return i;
   return std::nullopt;
+}
+
+std::uint64_t ServiceCatalog::content_digest() const {
+  // Local FNV-1a (the traffic layer sits below engine, so it cannot use
+  // engine::DigestBuilder). Doubles fold by bit pattern; strings are
+  // length-delimited so "ab"+"c" and "a"+"bc" differ.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+  auto u64 = [&byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto str = [&byte, &u64](std::string_view s) {
+    for (unsigned char c : s) byte(c);
+    u64(s.size());
+  };
+  u64(services_.size());
+  for (const Service& s : services_) {
+    str(s.name);
+    str(s.rdns_domain);
+    u64(s.asn);
+    u64(static_cast<std::uint64_t>(s.category));
+    u64(static_cast<std::uint64_t>(s.profile));
+    u64(std::bit_cast<std::uint64_t>(s.v6_readiness));
+    u64(std::bit_cast<std::uint64_t>(s.popularity));
+    u64(s.prefix4.address().value());
+    u64(static_cast<std::uint64_t>(s.prefix4.length()));
+    u64(s.prefix6.has_value() ? 1 : 0);
+    if (s.prefix6) {
+      for (std::uint8_t b : s.prefix6->address().bytes()) byte(b);
+      u64(static_cast<std::uint64_t>(s.prefix6->length()));
+    }
+  }
+  return h;
 }
 
 namespace {

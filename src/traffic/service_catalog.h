@@ -11,6 +11,7 @@
 // the analysis joins against.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,6 +95,12 @@ class ServiceCatalog {
 
   /// Index lookup by AS number (first match).
   [[nodiscard]] std::optional<size_t> find_by_asn(net::Asn asn) const;
+
+  /// FNV-1a digest over every field of every service, in index order.
+  /// Two catalogs digest equal iff their service lists are bit-identical,
+  /// which is the identity the pipeline layer's content-addressed pass
+  /// caching keys simulation results on.
+  [[nodiscard]] std::uint64_t content_digest() const;
 
  private:
   std::vector<Service> services_;

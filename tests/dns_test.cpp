@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "dns/resolver.h"
 #include "dns/zone.h"
 
@@ -215,6 +221,124 @@ TEST(ResolveStatusNames, ToString) {
   EXPECT_EQ(to_string(ResolveStatus::nodata), "nodata");
   EXPECT_EQ(to_string(ResolveStatus::nxdomain), "nxdomain");
   EXPECT_EQ(to_string(ResolveStatus::cname_loop), "cname_loop");
+}
+
+// ----------------------------------------------- interned-store checking
+// The open-addressing interning store must behave exactly like the
+// ordered-map implementation it replaced: same records, same removal
+// semantics, same sorted iteration.
+
+TEST(ZoneDbIntern, ForEachNameStaysSortedAcrossMutation) {
+  ZoneDb zone;
+  for (const char* n : {"mmm.example", "aaa.example", "zzz.example",
+                        "kkk.example", "bbb.example"})
+    zone.add_a(n, v4(1));
+  zone.remove("kkk.example", RecordType::a);
+  zone.add_a("ccc.example", v4(2));
+
+  std::vector<std::string> seen;
+  zone.for_each_name([&](const std::string& n) { seen.push_back(n); });
+  const std::vector<std::string> want{"aaa.example", "bbb.example",
+                                      "ccc.example", "mmm.example",
+                                      "zzz.example"};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ZoneDbIntern, RandomizedDifferentialAgainstOrderedMap) {
+  // Reference model: the exact structure the pre-interning ZoneDb used.
+  struct Ref {
+    std::vector<net::IPv4Addr> a;
+    std::string cname;
+  };
+  std::map<std::string, Ref> ref;
+  ZoneDb zone;
+
+  std::mt19937_64 rng(20260808);
+  auto rand_name = [&rng] {
+    return "h" + std::to_string(rng() % 64) + ".example";
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const std::string name = rand_name();
+    switch (rng() % 4) {
+      case 0: {  // add A
+        const auto addr = v4(static_cast<std::uint8_t>(rng() % 8));
+        const bool ok = zone.add_a(name, addr);
+        auto& r = ref[name];
+        if (!r.cname.empty()) {
+          EXPECT_FALSE(ok);
+          if (ref[name].a.empty() && ref[name].cname.empty()) ref.erase(name);
+        } else {
+          EXPECT_TRUE(ok);
+          if (std::find(r.a.begin(), r.a.end(), addr) == r.a.end())
+            r.a.push_back(addr);
+        }
+        break;
+      }
+      case 1: {  // add CNAME
+        const std::string target = rand_name();
+        const bool ok = zone.add_cname(name, target);
+        auto& r = ref[name];
+        if (!r.a.empty() || (!r.cname.empty() && r.cname != target)) {
+          EXPECT_FALSE(ok) << name;
+          if (r.a.empty() && r.cname.empty()) ref.erase(name);
+        } else {
+          EXPECT_TRUE(ok) << name;
+          r.cname = target;
+        }
+        break;
+      }
+      case 2: {  // remove A set
+        const size_t got = zone.remove(name, RecordType::a);
+        auto it = ref.find(name);
+        const size_t want = it == ref.end() ? 0 : it->second.a.size();
+        EXPECT_EQ(got, want) << name;
+        if (it != ref.end()) {
+          it->second.a.clear();
+          if (it->second.cname.empty()) ref.erase(it);
+        }
+        break;
+      }
+      default: {  // remove CNAME
+        const size_t got = zone.remove(name, RecordType::cname);
+        auto it = ref.find(name);
+        const size_t want =
+            it == ref.end() || it->second.cname.empty() ? 0 : 1;
+        EXPECT_EQ(got, want) << name;
+        if (it != ref.end()) {
+          it->second.cname.clear();
+          if (it->second.a.empty()) ref.erase(it);
+        }
+        break;
+      }
+    }
+  }
+
+  // Full-state comparison at the end of the walk.
+  ASSERT_EQ(zone.name_count(), ref.size());
+  std::vector<std::string> names;
+  zone.for_each_name([&](const std::string& n) { names.push_back(n); });
+  ASSERT_EQ(names.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [name, r] : ref) {
+    EXPECT_EQ(names[i++], name);  // sorted order == map order
+    EXPECT_EQ(zone.a_records(name), r.a) << name;
+    EXPECT_EQ(zone.cname(name), r.cname) << name;
+    EXPECT_TRUE(zone.exists(name));
+  }
+}
+
+TEST(ZoneDbIntern, LookupSurvivesTableGrowth) {
+  ZoneDb zone;
+  // Push far past several grow_slots() rebuilds.
+  for (int i = 0; i < 5000; ++i)
+    zone.add_a("host" + std::to_string(i) + ".example", v4(1));
+  EXPECT_EQ(zone.name_count(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string name = "host" + std::to_string(i) + ".example";
+    EXPECT_TRUE(zone.exists(name)) << name;
+    EXPECT_EQ(zone.a_records(name).size(), 1u) << name;
+  }
+  EXPECT_FALSE(zone.exists("host5000.example"));
 }
 
 }  // namespace

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "core/client_analysis.h"
+#include "engine/firehose.h"
 #include "engine/fleet.h"
 #include "engine/flat_conntrack.h"
+#include "engine/run_spec.h"
 #include "engine/thread_pool.h"
 #include "flowmon/monitor.h"
 #include "traffic/generator.h"
@@ -477,6 +479,106 @@ TEST(FleetEngine, FleetViewFeedsCoreAnalyses) {
   EXPECT_NEAR(report.fleet.external.total_gb,
               static_cast<double>(shard_bytes) / 1e9, 1e-9);
   EXPECT_GT(report.residence_byte_fraction.count, 0u);
+}
+
+// ------------------------------------------------------ RunSpec wrappers
+// The unified entry point must agree exactly with each legacy entry point
+// it replaced — same stage functions underneath, so any divergence is a
+// wiring bug.
+
+TEST(RunSpec, SampleDetailMatchesSampleFleetDetailed) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 12;
+  cfg.days = 5;
+  cfg.seed = 99;
+
+  auto via_spec = RunSpec(cfg).detail(RunDetail::sample).run(catalog);
+  auto legacy = sample_fleet_detailed(cfg, catalog);
+  ASSERT_EQ(via_spec.sampled.configs.size(), legacy.configs.size());
+  EXPECT_EQ(via_spec.sampled.traits, legacy.traits);
+  for (size_t i = 0; i < legacy.configs.size(); ++i) {
+    EXPECT_EQ(via_spec.sampled.configs[i].seed, legacy.configs[i].seed) << i;
+    EXPECT_EQ(via_spec.sampled.configs[i].days, legacy.configs[i].days) << i;
+  }
+  // Sample detail stops before simulation.
+  EXPECT_FALSE(via_spec.result.has_value());
+  EXPECT_EQ(via_spec.flows_streamed, 0u);
+}
+
+TEST(RunSpec, PlanDetailAppliesTimeline) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 6;
+  cfg.days = 8;
+  cfg.seed = 3;
+  TimelineEvent ev;
+  ev.kind = TimelineEventKind::outage;
+  ev.start_day = 2;
+  ev.end_day = 5;
+  ev.fraction = 1.0;
+  cfg.timeline.events.push_back(ev);
+
+  auto planned = RunSpec(cfg)
+                     .detail(RunDetail::plan)
+                     .plan_mode(TimelinePlanMode::materialized)
+                     .run(catalog);
+  ASSERT_EQ(planned.sampled.configs.size(), 6u);
+  // Materialized plans land on every sampled config.
+  for (const auto& rc : planned.sampled.configs)
+    EXPECT_EQ(rc.day_plan.size(), static_cast<size_t>(cfg.days));
+  EXPECT_FALSE(planned.result.has_value());
+}
+
+TEST(RunSpec, AggregateMatchesFleetEngineRun) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 10;
+  cfg.days = 6;
+  cfg.seed = 17;
+
+  auto out = RunSpec(cfg).lanes(4).run(catalog);
+  ASSERT_TRUE(out.result.has_value());
+  EXPECT_EQ(out.lanes, 4);
+
+  FleetEngine legacy(catalog, 4);
+  auto direct = legacy.run(cfg);
+  EXPECT_EQ(out.result->totals.sessions, direct.totals.sessions);
+  EXPECT_EQ(out.result->totals.flows, direct.totals.flows);
+  EXPECT_EQ(out.result->totals.he_failures, direct.totals.he_failures);
+  EXPECT_EQ(out.result->fleet.external_bytes(), direct.fleet.external_bytes());
+  EXPECT_EQ(out.totals.sessions, direct.totals.sessions);
+  EXPECT_EQ(out.result->traits, direct.traits);
+}
+
+TEST(RunSpec, FirehoseSinkMatchesFirehoseRun) {
+  auto catalog = traffic::build_paper_catalog();
+  FleetConfig cfg;
+  cfg.residences = 8;
+  cfg.days = 4;
+  cfg.seed = 5;
+  cfg.arrival.mode = traffic::ArrivalMode::poisson;
+  cfg.arrival.ticks_per_hour = 6;
+
+  std::uint64_t spec_bytes = 0;
+  auto out = RunSpec(cfg)
+                 .lanes(4)
+                 .firehose([&](const FlowEvent& ev) {
+                   spec_bytes += ev.bytes_out + ev.bytes_in;
+                 })
+                 .run(catalog);
+  // Streaming trades retained monitors for throughput: no FleetResult.
+  EXPECT_FALSE(out.result.has_value());
+
+  std::uint64_t hose_bytes = 0;
+  Firehose hose(catalog, 4);
+  auto legacy = hose.run(cfg, [&](const FlowEvent& ev) {
+    hose_bytes += ev.bytes_out + ev.bytes_in;
+  });
+  EXPECT_EQ(out.flows_streamed, legacy.flows);
+  EXPECT_EQ(spec_bytes, hose_bytes);
+  EXPECT_EQ(out.totals.sessions, legacy.totals.sessions);
+  EXPECT_EQ(out.lanes, legacy.lanes);
 }
 
 }  // namespace
