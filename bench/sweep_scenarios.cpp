@@ -12,9 +12,18 @@
 // first variant then demonstrates the fully-cached fixpoint (zero
 // executed passes).
 //
-//   ./build/sweep_scenarios [--variants=25 --lanes=0 --residences=48
-//                            --days=14 --seed=20260808 --outdir=DIR
-//                            --scenario=base.cfg]
+// With --workers > 1 (or --overlap) the driver re-runs the same forest
+// overlapped: engine::ForestScheduler merges all N pipelines into one
+// frontier and dispatches independent passes from different variants
+// concurrently (variant B simulates while variant A computes panels),
+// releasing transient fleets (population, planned_fleet) once their last
+// consumer ran. The overlapped outputs are diffed byte-for-byte against
+// the serial pass — any divergence exits non-zero — and the RESULT line
+// reports both wall-clocks plus the peak transient residency.
+//
+//   ./build/sweep_scenarios [--variants=25 --lanes=0 --workers=0 --overlap
+//                            --residences=48 --days=14 --seed=20260808
+//                            --outdir=DIR --scenario=base.cfg]
 //
 // With --outdir, each variant also renders its panel/CDF/summary files
 // there through the uncached sink passes. With --scenario, the base config
@@ -34,13 +43,33 @@
 #include "engine/pipeline.h"
 #include "engine/run_spec.h"
 #include "engine/thread_pool.h"
+#include "testutil.h"
 #include "traffic/service_catalog.h"
 
 using namespace nbv6;
 
+namespace {
+
+// Canonical text of one variant's pipelined outcome — the byte-level
+// equality the serial-vs-overlapped diff runs on (the same serializer the
+// golden suite pins across compilers and lane counts).
+std::string serialize_variant(const engine::FleetConfig& cfg,
+                              engine::Pipeline& pipe) {
+  testutil::ScenarioRun run;
+  run.cfg = cfg;
+  run.result = pipe.output<engine::FleetResult>("fleet_result");
+  run.report = pipe.output<core::FleetStatsReport>("stats_report");
+  run.window_panel = pipe.output<core::GroupComparison>("window_panel");
+  return testutil::canonical_serialize(run);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int variants = 25;
   int lanes = 0;
+  int workers = 0;
+  bool overlap = false;
   std::string outdir;
   std::string scenario_path;
   engine::FleetConfig base;
@@ -52,6 +81,12 @@ int main(int argc, char** argv) {
                  "What-if scenario forest on the shared-cache pass pipeline");
   cli.flag_int("variants", &variants, "what-if variants to run");
   cli.flag_int("lanes", &lanes, "worker lanes, 0 = hw concurrency");
+  cli.flag_int("workers", &workers,
+               "overlapped passes in flight (>1 enables the overlapped "
+               "forest; 0 = lanes when --overlap)");
+  cli.flag_bool("overlap", &overlap,
+                "run the overlapped cross-variant forest and diff it "
+                "against the serial path");
   cli.flag_int("residences", &base.residences, "base fleet size");
   cli.flag_int("days", &base.days, "base horizon in days");
   cli.flag_u64("seed", &base.seed, "base scenario master seed");
@@ -87,19 +122,22 @@ int main(int argc, char** argv) {
   std::unique_ptr<engine::ThreadPool> pool;
   if (lanes <= 0) lanes = engine::FleetEngine(catalog, 0).lanes();
   if (lanes > 1) pool = std::make_unique<engine::ThreadPool>(lanes - 1);
+  if (workers > 1) overlap = true;
+  if (overlap && workers <= 1) workers = lanes;
+  if (!overlap) workers = 1;
 
-  std::printf("sweep: %d variants of %d residences x %d days on %d lane(s)\n",
+  std::printf("sweep: %d variants of %d residences x %d days on %d lane(s)",
               variants, base.residences, base.days, lanes);
+  if (overlap)
+    std::printf(", overlapped at %d worker(s)", workers);
+  std::printf("\n");
 
-  // One pipeline per variant, one cache for the forest. Variant v > 0
-  // appends a cpe_fix wave whose repair fraction sweeps (0, 1]: only the
-  // timeline slice changes, so sample stays digest-identical across the
-  // whole forest while timeline/simulate/analysis re-run per variant.
-  engine::PassCache cache;
-  std::vector<std::unique_ptr<engine::Pipeline>> pipes;
-  std::size_t executed = 0;
-  std::size_t cached = 0;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Variant configs: variant v > 0 appends a cpe_fix wave whose repair
+  // fraction sweeps (0, 1]: only the timeline slice changes, so sample
+  // stays digest-identical across the whole forest while
+  // timeline/simulate/analysis re-run per variant.
+  std::vector<engine::FleetConfig> cfgs;
+  std::vector<core::ScenarioPassOptions> opts;
   for (int v = 0; v < variants; ++v) {
     engine::FleetConfig cfg = base;
     if (v > 0) {
@@ -110,17 +148,30 @@ int main(int argc, char** argv) {
       fix.fraction = static_cast<double>(v) / variants;
       cfg.timeline.events.push_back(fix);
     }
-    core::ScenarioPassOptions opts;
-    opts.sink_dir = outdir;
-    opts.scenario_tag = "variant_" + std::to_string(v);
+    core::ScenarioPassOptions o;
+    o.sink_dir = outdir;
+    o.scenario_tag = "variant_" + std::to_string(v);
+    cfgs.push_back(std::move(cfg));
+    opts.push_back(std::move(o));
+  }
+
+  // ------------------------------------------------------ serial reference
+  // One pipeline per variant, one cache for the forest, run to completion
+  // in variant order — the reference the overlapped pass is diffed against.
+  engine::PassCache cache;
+  std::vector<std::unique_ptr<engine::Pipeline>> pipes;
+  std::size_t executed = 0;
+  std::size_t cached = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int v = 0; v < variants; ++v) {
     pipes.push_back(std::make_unique<engine::Pipeline>(
-        core::make_scenario_pipeline(cfg, catalog, opts)));
+        core::make_scenario_pipeline(cfgs[v], catalog, opts[v])));
     const auto stats = pipes.back()->run(&cache, pool.get());
     executed += stats.executed;
     cached += stats.cached;
   }
   const auto t1 = std::chrono::steady_clock::now();
-  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double serial_secs = std::chrono::duration<double>(t1 - t0).count();
 
   // The tentpole invariant: the base population was sampled exactly once
   // across the whole forest.
@@ -157,14 +208,80 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::vector<std::string> serial_canon;
+  for (int v = 0; v < variants; ++v)
+    serial_canon.push_back(serialize_variant(cfgs[v], *pipes[v]));
+
   std::printf(
       "  base sampled once; %zu passes executed, %zu served from cache\n"
       "  warm re-run: %zu executed / %zu cached; cache holds %zu results\n",
       executed, cached, warm.executed, warm.cached, cache.size());
+
+  // ----------------------------------------------------- overlapped forest
+  // Fresh pipelines, fresh cache: the overlapped run must reproduce the
+  // serial outputs from nothing, not bind the serial run's warm entries.
+  double overlap_secs = 0.0;
+  engine::ForestScheduler::Stats fstats;
+  std::uint64_t forest_sample_execs = 0;
+  if (overlap) {
+    std::unique_ptr<engine::ThreadPool> forest_pool;
+    if (workers > 1)
+      forest_pool = std::make_unique<engine::ThreadPool>(workers);
+
+    engine::PassCache forest_cache;
+    std::vector<std::unique_ptr<engine::Pipeline>> forest_pipes;
+    std::vector<engine::Pipeline*> ptrs;
+    for (int v = 0; v < variants; ++v) {
+      forest_pipes.push_back(std::make_unique<engine::Pipeline>(
+          core::make_scenario_pipeline(cfgs[v], catalog, opts[v])));
+      ptrs.push_back(forest_pipes.back().get());
+    }
+    engine::ForestScheduler::Options fopts;
+    fopts.pool = forest_pool ? forest_pool.get() : pool.get();
+    fopts.workers = workers;
+    fopts.transient = core::scenario_transient_resources();
+
+    const auto f0 = std::chrono::steady_clock::now();
+    fstats = engine::ForestScheduler::run(ptrs, forest_cache, fopts);
+    const auto f1 = std::chrono::steady_clock::now();
+    overlap_secs = std::chrono::duration<double>(f1 - f0).count();
+
+    for (const auto& p : forest_pipes)
+      forest_sample_execs += p->executions("sample");
+    if (forest_sample_execs != 1) {
+      std::fprintf(stderr,
+                   "FAIL: overlapped forest executed sample %llu times "
+                   "(expected exactly 1 — in-flight dedup is broken)\n",
+                   static_cast<unsigned long long>(forest_sample_execs));
+      return 1;
+    }
+    for (int v = 0; v < variants; ++v) {
+      const std::string got = serialize_variant(cfgs[v], *forest_pipes[v]);
+      if (got != serial_canon[v]) {
+        std::fprintf(stderr,
+                     "FAIL: overlapped variant %d diverges from serial:\n%s\n",
+                     v, testutil::first_diff(got, serial_canon[v]).c_str());
+        return 1;
+      }
+    }
+    std::printf(
+        "  overlapped: %zu executed / %zu cached / %zu deduped; "
+        "%zu transients released, peak residency %zu\n"
+        "  serial %.3fs vs overlapped %.3fs — outputs byte-identical\n",
+        fstats.executed, fstats.cached, fstats.deduped, fstats.released,
+        fstats.peak_resident, serial_secs, overlap_secs);
+  }
+
   std::printf(
-      "RESULT variants=%d lanes=%d sample_executions=%llu passes_executed=%zu "
-      "passes_cached=%zu warm_executed=%zu cache_entries=%zu seconds=%.6f\n",
-      variants, lanes, static_cast<unsigned long long>(sample_execs), executed,
-      cached, warm.executed, cache.size(), secs);
+      "RESULT variants=%d lanes=%d workers=%d sample_executions=%llu "
+      "passes_executed=%zu passes_cached=%zu warm_executed=%zu "
+      "cache_entries=%zu seconds=%.6f overlap_seconds=%.6f "
+      "overlap_sample_executions=%llu overlap_deduped=%zu "
+      "peak_pass_residency=%zu released=%zu identical=%d\n",
+      variants, lanes, workers,
+      static_cast<unsigned long long>(sample_execs), executed, cached,
+      warm.executed, cache.size(), serial_secs, overlap_secs,
+      static_cast<unsigned long long>(forest_sample_execs), fstats.deduped,
+      fstats.peak_resident, fstats.released, overlap ? 1 : 0);
   return 0;
 }

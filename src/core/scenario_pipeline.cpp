@@ -246,6 +246,10 @@ Pipeline make_scenario_pipeline(const FleetConfig& cfg,
   return pipe;
 }
 
+std::vector<std::string> scenario_transient_resources() {
+  return {"population", "planned_fleet"};
+}
+
 void replace_scenario_config(Pipeline& pipe, const FleetConfig& cfg,
                              const traffic::ServiceCatalog& catalog,
                              const ScenarioPassOptions& opts) {

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/fleet_analysis.h"
 #include "engine/fleet.h"
@@ -84,6 +85,14 @@ void register_scenario_passes(engine::Pipeline& pipe,
 engine::Pipeline make_scenario_pipeline(const engine::FleetConfig& cfg,
                                         const traffic::ServiceCatalog& catalog,
                                         const ScenarioPassOptions& opts = {});
+
+/// Resource names safe to release mid-forest (engine::ForestScheduler's
+/// Options::transient): intermediates every scenario pipeline consumes
+/// exactly once and no caller reads back after the run. "population" and
+/// "planned_fleet" are whole sampled fleets — the forest's dominant RSS
+/// term — while "fleet_result"/"stats_report"/"window_panel" stay bound
+/// (they are what a sweep exists to read).
+std::vector<std::string> scenario_transient_resources();
 
 /// Swap a new scenario config into an already-registered pipeline,
 /// replacing the sample/timeline/window passes in place (execution

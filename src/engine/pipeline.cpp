@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <utility>
 
 namespace nbv6::engine {
 
@@ -11,13 +16,42 @@ DigestBuilder& DigestBuilder::f64(double v) {
 
 // ----------------------------------------------------------------- cache
 
-const std::vector<PipelineValue>* PassCache::find(std::uint64_t digest) const {
+std::optional<std::vector<PipelineValue>> PassCache::find(
+    std::uint64_t digest, std::string_view pass,
+    std::size_t output_count) const {
+  std::lock_guard lock(mutex_);
   auto it = map_.find(digest);
-  return it == map_.end() ? nullptr : &it->second;
+  if (it == map_.end()) return std::nullopt;
+  // A digest collision across passes (different name, or same name with a
+  // different arity after a replace()) must read as a miss, not as someone
+  // else's outputs.
+  if (it->second.pass != pass || it->second.outputs.size() != output_count)
+    return std::nullopt;
+  return it->second.outputs;  // copies shared handles, not payloads
 }
 
-void PassCache::store(std::uint64_t digest, std::vector<PipelineValue> outputs) {
-  map_[digest] = std::move(outputs);
+void PassCache::store(std::uint64_t digest, std::string_view pass,
+                      std::vector<PipelineValue> outputs) {
+  std::lock_guard lock(mutex_);
+  map_[digest] = Entry{std::string(pass), std::move(outputs)};
+}
+
+bool PassCache::erase(std::uint64_t digest, std::string_view pass) {
+  std::lock_guard lock(mutex_);
+  auto it = map_.find(digest);
+  if (it == map_.end() || it->second.pass != pass) return false;
+  map_.erase(it);
+  return true;
+}
+
+std::size_t PassCache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+void PassCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
 }
 
 // --------------------------------------------------------------- context
@@ -149,56 +183,65 @@ Pipeline::RunStats Pipeline::run(PassCache* cache, ThreadPool* pool) {
   // its producing pass's digest folded with the output's position.
   std::unordered_map<std::string, std::uint64_t> resource_digest;
 
-  for (std::size_t idx : order_) {
-    Node& node = nodes_[idx];
-    const Pass& pass = node.pass;
+  // A pass failure must not leave bound_ half-populated from this run —
+  // output_value would serve a mix of fresh upstream results and nothing
+  // downstream, indistinguishable from a completed run. Failure clears
+  // everything: no resource is bound until a run completes.
+  try {
+    for (std::size_t idx : order_) {
+      Node& node = nodes_[idx];
+      const Pass& pass = node.pass;
 
-    DigestBuilder db;
-    db.str(pass.name).u64(pass.config_digest);
-    for (const auto& in : pass.inputs) db.u64(resource_digest.at(in));
-    const std::uint64_t digest = db.value();
-    node.last_digest = digest;
-    for (std::size_t o = 0; o < pass.outputs.size(); ++o) {
-      resource_digest[pass.outputs[o]] =
-          DigestBuilder().u64(digest).u64(o).value();
+      DigestBuilder db;
+      db.str(pass.name).u64(pass.config_digest);
+      for (const auto& in : pass.inputs) db.u64(resource_digest.at(in));
+      const std::uint64_t digest = db.value();
+      node.last_digest = digest;
+      for (std::size_t o = 0; o < pass.outputs.size(); ++o) {
+        resource_digest[pass.outputs[o]] =
+            DigestBuilder().u64(digest).u64(o).value();
+      }
+
+      std::optional<std::vector<PipelineValue>> hit;
+      if (cache != nullptr && pass.cache_outputs)
+        hit = cache->find(digest, pass.name, pass.outputs.size());
+      if (hit) {
+        for (std::size_t o = 0; o < pass.outputs.size(); ++o)
+          bound_[pass.outputs[o]] = std::move((*hit)[o]);
+        ++stats.cached;
+        stats.passes.push_back({pass.name, digest, true});
+        continue;
+      }
+
+      std::vector<PipelineValue*> inputs;
+      inputs.reserve(pass.inputs.size());
+      for (const auto& in : pass.inputs) inputs.push_back(&bound_.at(in));
+      std::vector<PipelineValue> outputs(pass.outputs.size());
+
+      PassContext ctx;
+      ctx.input_names_ = &pass.inputs;
+      ctx.inputs_ = &inputs;
+      ctx.output_names_ = &pass.outputs;
+      ctx.outputs_ = &outputs;
+      ctx.pool_ = pool;
+      pass.run(ctx);
+
+      for (std::size_t o = 0; o < outputs.size(); ++o) {
+        if (!outputs[o].has_value())
+          throw std::logic_error("pass '" + pass.name +
+                                 "' did not set declared output '" +
+                                 pass.outputs[o] + "'");
+        bound_[pass.outputs[o]] = outputs[o];
+      }
+      if (cache != nullptr && pass.cache_outputs)
+        cache->store(digest, pass.name, std::move(outputs));
+      ++node.executions;
+      ++stats.executed;
+      stats.passes.push_back({pass.name, digest, false});
     }
-
-    const std::vector<PipelineValue>* hit =
-        (cache != nullptr && pass.cache_outputs) ? cache->find(digest)
-                                                 : nullptr;
-    if (hit != nullptr) {
-      for (std::size_t o = 0; o < pass.outputs.size(); ++o)
-        bound_[pass.outputs[o]] = (*hit)[o];
-      ++stats.cached;
-      stats.passes.push_back({pass.name, digest, true});
-      continue;
-    }
-
-    std::vector<PipelineValue*> inputs;
-    inputs.reserve(pass.inputs.size());
-    for (const auto& in : pass.inputs) inputs.push_back(&bound_.at(in));
-    std::vector<PipelineValue> outputs(pass.outputs.size());
-
-    PassContext ctx;
-    ctx.input_names_ = &pass.inputs;
-    ctx.inputs_ = &inputs;
-    ctx.output_names_ = &pass.outputs;
-    ctx.outputs_ = &outputs;
-    ctx.pool_ = pool;
-    pass.run(ctx);
-
-    for (std::size_t o = 0; o < outputs.size(); ++o) {
-      if (!outputs[o].has_value())
-        throw std::logic_error("pass '" + pass.name +
-                               "' did not set declared output '" +
-                               pass.outputs[o] + "'");
-      bound_[pass.outputs[o]] = outputs[o];
-    }
-    if (cache != nullptr && pass.cache_outputs)
-      cache->store(digest, std::move(outputs));
-    ++node.executions;
-    ++stats.executed;
-    stats.passes.push_back({pass.name, digest, false});
+  } catch (...) {
+    bound_.clear();
+    throw;
   }
   return stats;
 }
@@ -222,6 +265,428 @@ std::vector<std::string> Pipeline::schedule() {
   out.reserve(order_.size());
   for (std::size_t idx : order_) out.push_back(nodes_[idx].pass.name);
   return out;
+}
+
+// ---------------------------------------------------------------- forest
+
+namespace detail {
+
+/// One pipeline pass in the merged forest frontier.
+struct ForestNode {
+  Pipeline* pipe = nullptr;
+  std::size_t node_idx = 0;             ///< into pipe->nodes_
+  std::uint64_t digest = 0;
+  std::size_t pending = 0;              ///< producer edges not yet satisfied
+  std::vector<std::size_t> dependents;  ///< forest indices, same pipeline
+  /// Input pointers into pipe->bound_, prepared under the scheduler lock
+  /// when the node turns ready; element addresses are rehash-stable, so an
+  /// executing task reads them without touching the map itself.
+  std::vector<PipelineValue*> inputs;
+  bool registered_inflight = false;
+  bool done = false;
+};
+
+/// One transient resource instance — a (name, resource digest) value,
+/// possibly bound by several pipelines that share it through the cache.
+struct TransientInstance {
+  std::string name;
+  std::uint64_t producer_digest = 0;  ///< cache key of the producing pass
+  std::string producer_pass;
+  bool producer_cacheable = true;
+  /// Cache entries hold the producer's whole output list, so the entry is
+  /// erased on release only when every output of that pass is transient.
+  bool producer_all_transient = true;
+  std::size_t remaining = 0;          ///< forest-wide consumers not yet done
+  std::vector<Pipeline*> holders;     ///< pipelines binding this instance
+  bool live = false;                  ///< produced and not yet released
+};
+
+struct ForestRun {
+ public:
+  ForestRun(const std::vector<Pipeline*>& pipelines, PassCache& cache,
+            const ForestScheduler::Options& opts)
+      : pipes_(pipelines),
+        cache_(cache),
+        opts_(opts),
+        workers_(std::max(1, opts.workers)),
+        parallel_(opts.pool != nullptr && opts.workers > 1) {}
+
+  ForestScheduler::Stats run() {
+    prepare();
+    {
+      std::lock_guard lock(m_);
+      // Seed in (pipeline order, schedule order): deterministic, so which
+      // digest-equal twin becomes the runner and which become waiters never
+      // depends on thread timing for frontier-level passes.
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].pending == 0) on_ready(i);
+    }
+    if (parallel_)
+      drive_parallel();
+    else
+      drive_inline();
+    if (error_) {
+      // Same no-partial-state rule as Pipeline::run — a failed forest
+      // leaves no pipeline serving a stale/fresh mix.
+      for (Pipeline* p : pipes_) p->bound_.clear();
+      std::rethrow_exception(error_);
+    }
+    return stats_;
+  }
+
+ private:
+  // ------------------------------------------------------------- build
+
+  void prepare() {
+    for (Pipeline* p : pipes_) {
+      if (p == nullptr)
+        throw std::invalid_argument("ForestScheduler: null pipeline");
+      p->ensure_order();
+      p->bound_.clear();
+    }
+    for (std::size_t a = 0; a < pipes_.size(); ++a)
+      for (std::size_t b = a + 1; b < pipes_.size(); ++b)
+        if (pipes_[a] == pipes_[b])
+          throw std::invalid_argument(
+              "ForestScheduler: the same pipeline appears twice");
+
+    const std::vector<std::string>& transient = opts_.transient;
+    auto is_transient = [&transient](const std::string& name) {
+      return std::find(transient.begin(), transient.end(), name) !=
+             transient.end();
+    };
+
+    // Instances keyed by (resource name, resource digest): pipelines whose
+    // producer digests agree share one instance (and one payload).
+    std::map<std::pair<std::string, std::uint64_t>, std::size_t> instance_key;
+
+    for (Pipeline* p : pipes_) {
+      // Digests are a pure function of the graph, so the whole cascade is
+      // computable up front, exactly as Pipeline::run does in order.
+      std::unordered_map<std::string, std::uint64_t> resource_digest;
+      std::unordered_map<std::size_t, std::size_t> forest_idx;  // node->forest
+      for (std::size_t idx : p->order_) {
+        Pipeline::Node& node = p->nodes_[idx];
+        const Pass& pass = node.pass;
+        DigestBuilder db;
+        db.str(pass.name).u64(pass.config_digest);
+        for (const auto& in : pass.inputs) db.u64(resource_digest.at(in));
+        const std::uint64_t digest = db.value();
+        node.last_digest = digest;
+        for (std::size_t o = 0; o < pass.outputs.size(); ++o) {
+          resource_digest[pass.outputs[o]] =
+              DigestBuilder().u64(digest).u64(o).value();
+        }
+        ForestNode fn;
+        fn.pipe = p;
+        fn.node_idx = idx;
+        fn.digest = digest;
+        fn.pending = pass.inputs.size();
+        forest_idx.emplace(idx, nodes_.size());
+        nodes_.push_back(std::move(fn));
+      }
+      for (std::size_t idx : p->order_) {  // deterministic edge order
+        const std::size_t fi = forest_idx.at(idx);
+        for (const auto& in : p->nodes_[idx].pass.inputs)
+          nodes_[forest_idx.at(p->producer_.at(in))].dependents.push_back(fi);
+      }
+
+      // Transient bookkeeping for this pipeline: producer side...
+      for (const std::string& name : transient) {
+        auto pit = p->producer_.find(name);
+        if (pit == p->producer_.end()) continue;
+        const Pipeline::Node& prod = p->nodes_[pit->second];
+        const auto key = std::make_pair(name, resource_digest.at(name));
+        auto [kit, created] =
+            instance_key.emplace(key, instances_.size());
+        if (created) {
+          TransientInstance inst;
+          inst.name = name;
+          inst.producer_digest = prod.last_digest;
+          inst.producer_pass = prod.pass.name;
+          inst.producer_cacheable = prod.pass.cache_outputs;
+          inst.producer_all_transient = true;
+          for (const auto& out : prod.pass.outputs)
+            if (!is_transient(out)) inst.producer_all_transient = false;
+          instances_.push_back(std::move(inst));
+        }
+        instances_[kit->second].holders.push_back(p);
+        instance_of_.emplace(std::make_pair(p, name), kit->second);
+      }
+      // ...and consumer side (one decrement per declared input occurrence).
+      for (const auto& node : p->nodes_) {
+        for (const auto& in : node.pass.inputs) {
+          auto iit = instance_of_.find(std::make_pair(p, in));
+          if (iit != instance_of_.end()) ++instances_[iit->second].remaining;
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------- scheduling (lock held)
+
+  const Pass& pass_of(const ForestNode& n) const {
+    return n.pipe->nodes_[n.node_idx].pass;
+  }
+
+  void on_ready(std::size_t i) {
+    ForestNode& n = nodes_[i];
+    const Pass& pass = pass_of(n);
+    // Prepare input pointers while the lock serializes bound_ mutations;
+    // the executing task then only dereferences stable element addresses.
+    n.inputs.clear();
+    n.inputs.reserve(pass.inputs.size());
+    for (const auto& in : pass.inputs)
+      n.inputs.push_back(&n.pipe->bound_.at(in));
+
+    if (pass.cache_outputs) {
+      if (auto hit = cache_.find(n.digest, pass.name, pass.outputs.size())) {
+        bind_outputs(i, *hit);
+        ++stats_.cached;
+        finish_node(i);
+        return;
+      }
+      auto fit = inflight_.find(n.digest);
+      if (fit != inflight_.end()) {
+        if (fit->second.pass == pass.name &&
+            fit->second.output_count == pass.outputs.size()) {
+          fit->second.waiters.push_back(i);  // dedup: bind when the twin lands
+          return;
+        }
+        // Digest collision with a different in-flight pass: run separately.
+      } else {
+        inflight_.emplace(n.digest,
+                          InFlight{pass.name, pass.outputs.size(), {}});
+        n.registered_inflight = true;
+      }
+    }
+    ready_.push_back(i);
+  }
+
+  void bind_outputs(std::size_t i, const std::vector<PipelineValue>& outputs) {
+    ForestNode& n = nodes_[i];
+    const Pass& pass = pass_of(n);
+    for (std::size_t o = 0; o < pass.outputs.size(); ++o)
+      n.pipe->bound_[pass.outputs[o]] = outputs[o];
+  }
+
+  /// Post-bind bookkeeping: transient production/consumption accounting,
+  /// then readiness propagation (which may recurse through cache-hit
+  /// chains). Callers bind the node — and every dedup waiter sharing the
+  /// result — *before* any finish_node call, so a release triggered here
+  /// can never race a sibling's bind.
+  void finish_node(std::size_t i) {
+    ForestNode& n = nodes_[i];
+    const Pass& pass = pass_of(n);
+    n.done = true;
+    ++done_count_;
+
+    for (const auto& out : pass.outputs) {
+      auto iit = instance_of_.find(std::make_pair(n.pipe, out));
+      if (iit == instance_of_.end()) continue;
+      TransientInstance& inst = instances_[iit->second];
+      if (!inst.live) {
+        inst.live = true;
+        ++resident_;
+        stats_.peak_resident = std::max(stats_.peak_resident, resident_);
+      }
+      if (inst.remaining == 0) release(inst);  // consumerless transient
+    }
+    for (const auto& in : pass.inputs) {
+      auto iit = instance_of_.find(std::make_pair(n.pipe, in));
+      if (iit == instance_of_.end()) continue;
+      TransientInstance& inst = instances_[iit->second];
+      if (--inst.remaining == 0 && inst.live) release(inst);
+    }
+
+    for (std::size_t d : n.dependents)
+      if (--nodes_[d].pending == 0) on_ready(d);
+  }
+
+  void release(TransientInstance& inst) {
+    inst.live = false;
+    --resident_;
+    ++stats_.released;
+    for (Pipeline* p : inst.holders) p->bound_.erase(inst.name);
+    if (inst.producer_cacheable && inst.producer_all_transient)
+      cache_.erase(inst.producer_digest, inst.producer_pass);
+  }
+
+  void complete_executed(std::size_t i, std::vector<PipelineValue> outputs) {
+    ForestNode& n = nodes_[i];
+    const Pass& pass = pass_of(n);
+    ++n.pipe->nodes_[n.node_idx].executions;
+    ++stats_.executed;
+
+    std::vector<std::size_t> waiters;
+    if (n.registered_inflight) {
+      auto fit = inflight_.find(n.digest);
+      waiters = std::move(fit->second.waiters);
+      inflight_.erase(fit);
+    }
+    bind_outputs(i, outputs);
+    for (std::size_t w : waiters) bind_outputs(w, outputs);
+    if (pass.cache_outputs)
+      cache_.store(n.digest, pass.name, std::move(outputs));
+    finish_node(i);
+    for (std::size_t w : waiters) {
+      ++stats_.deduped;
+      finish_node(w);
+    }
+  }
+
+  void dispatch_locked() {
+    while (!aborting_ && running_ < static_cast<std::size_t>(workers_) &&
+           !ready_.empty()) {
+      const std::size_t i = ready_.back();
+      ready_.pop_back();
+      ++running_;
+      opts_.pool->submit([this, i] { run_task(i); });
+    }
+  }
+
+  // --------------------------------------------------------- execution
+
+  /// Runs the pass body. No lock: inputs were pinned at ready time and the
+  /// pass definition is immutable for the duration of the forest run.
+  std::vector<PipelineValue> execute(std::size_t i, ThreadPool* pass_pool) {
+    ForestNode& n = nodes_[i];
+    const Pass& pass = pass_of(n);
+    std::vector<PipelineValue> outputs(pass.outputs.size());
+    PassContext ctx;
+    ctx.input_names_ = &pass.inputs;
+    ctx.inputs_ = &n.inputs;
+    ctx.output_names_ = &pass.outputs;
+    ctx.outputs_ = &outputs;
+    ctx.pool_ = pass_pool;
+    pass.run(ctx);
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      if (!outputs[o].has_value())
+        throw std::logic_error("pass '" + pass.name +
+                               "' did not set declared output '" +
+                               pass.outputs[o] + "'");
+    }
+    return outputs;
+  }
+
+  /// Body of a pool task: never lets an exception reach worker_loop.
+  void run_task(std::size_t i) {
+    std::vector<PipelineValue> outputs;
+    std::exception_ptr err;
+    try {
+      // Overlapped passes run with a null pool: no nested parallel_for
+      // from inside a pool task — cross-variant overlap replaces lanes.
+      outputs = execute(i, nullptr);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lock(m_);
+      --running_;
+      if (err != nullptr) {
+        if (!error_) error_ = err;
+        aborting_ = true;
+        nodes_[i].done = true;
+        ++done_count_;
+      } else if (aborting_) {
+        nodes_[i].done = true;  // drained post-abort: discard the result
+        ++done_count_;
+      } else {
+        complete_executed(i, std::move(outputs));
+      }
+      dispatch_locked();
+      // Notify under the lock: the waiter in drive_parallel destroys this
+      // ForestRun (and cv_) as soon as it observes running_ == 0, so an
+      // unlocked notify could touch a dead condition variable.
+      cv_.notify_all();
+    }
+  }
+
+  void drive_parallel() {
+    std::unique_lock lock(m_);
+    dispatch_locked();
+    // Aborting leaves queued-but-undispatched nodes in ready_; draining
+    // the running tasks is all that is required before unwinding.
+    cv_.wait(lock,
+             [this] { return running_ == 0 && (aborting_ || ready_.empty()); });
+    if (!error_ && done_count_ != nodes_.size())
+      throw std::logic_error("ForestScheduler stalled: " +
+                             std::to_string(nodes_.size() - done_count_) +
+                             " passes never became ready");
+  }
+
+  void drive_inline() {
+    for (;;) {
+      std::size_t i;
+      {
+        std::lock_guard lock(m_);
+        if (error_ || done_count_ == nodes_.size()) break;
+        if (ready_.empty())
+          throw std::logic_error("ForestScheduler stalled: " +
+                                 std::to_string(nodes_.size() - done_count_) +
+                                 " passes never became ready");
+        i = ready_.back();
+        ready_.pop_back();
+      }
+      std::vector<PipelineValue> outputs;
+      std::exception_ptr err;
+      try {
+        // Inline execution happens on the caller, so passes may keep the
+        // pool for intra-pass parallel_for.
+        outputs = execute(i, opts_.pool);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(m_);
+      if (err != nullptr) {
+        if (!error_) error_ = err;
+      } else {
+        complete_executed(i, std::move(outputs));
+      }
+    }
+  }
+
+  struct InFlight {
+    std::string pass;
+    std::size_t output_count = 0;
+    std::vector<std::size_t> waiters;
+  };
+
+  const std::vector<Pipeline*>& pipes_;
+  PassCache& cache_;
+  const ForestScheduler::Options& opts_;
+  const int workers_;
+  const bool parallel_;
+
+  std::vector<ForestNode> nodes_;
+  std::vector<TransientInstance> instances_;
+  /// (pipeline, resource name) -> transient instance index.
+  std::map<std::pair<const Pipeline*, std::string>, std::size_t> instance_of_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  /// LIFO: newly-unblocked passes run before older frontier entries, so a
+  /// variant's chain drains depth-first and its transients release before
+  /// the scheduler fans out to the next variant — this is what keeps peak
+  /// residency near the worker count instead of the variant count.
+  std::deque<std::size_t> ready_;
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+  std::size_t running_ = 0;
+  std::size_t done_count_ = 0;
+  std::size_t resident_ = 0;
+  bool aborting_ = false;
+  std::exception_ptr error_;
+  ForestScheduler::Stats stats_;
+};
+
+}  // namespace detail
+
+ForestScheduler::Stats ForestScheduler::run(
+    const std::vector<Pipeline*>& pipelines, PassCache& cache,
+    const Options& opts) {
+  if (pipelines.empty()) return {};
+  detail::ForestRun run(pipelines, cache, opts);
+  return run.run();
 }
 
 }  // namespace nbv6::engine

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -112,23 +114,49 @@ class PipelineValue {
 /// Content-addressed pass-result store, shared across pipelines (the
 /// vehicle for cross-variant reuse in scenario sweeps). Keyed by the pass
 /// digest; the value is the pass's output list, output-index aligned.
+///
+/// Entries also record the producing pass's name and output count, and a
+/// lookup whose name or count disagrees is a miss: a 64-bit digest
+/// collision between two different passes must never bind one pass's
+/// outputs (wrong arity, wrong types) as another's.
+///
+/// Thread-safe: find/store/erase take an internal lock, and find copies
+/// the entry out (PipelineValue is a shared handle, so the copy is a few
+/// refcount bumps, not a fleet result). The old "pointer valid until the
+/// next store" contract is gone — it was unenforceable once the forest
+/// scheduler started storing from concurrent passes.
 class PassCache {
  public:
-  /// nullptr on miss; the entry pointer stays valid until the next store.
-  [[nodiscard]] const std::vector<PipelineValue>* find(
-      std::uint64_t digest) const;
-  void store(std::uint64_t digest, std::vector<PipelineValue> outputs);
+  /// Hit iff the digest maps to an entry stored by a pass with the same
+  /// name and output count; nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<PipelineValue>> find(
+      std::uint64_t digest, std::string_view pass,
+      std::size_t output_count) const;
+  void store(std::uint64_t digest, std::string_view pass,
+             std::vector<PipelineValue> outputs);
+  /// Drop the entry (transient-resource release); name-guarded like find.
+  /// Returns whether an entry was removed.
+  bool erase(std::uint64_t digest, std::string_view pass);
 
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
-  void clear() { map_.clear(); }
+  [[nodiscard]] std::size_t size() const;
+  void clear();
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<PipelineValue>> map_;
+  struct Entry {
+    std::string pass;
+    std::vector<PipelineValue> outputs;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> map_;
 };
 
 // ---------------------------------------------------------------- passes
 
 class Pipeline;
+
+namespace detail {
+struct ForestRun;  // scheduler implementation, defined in pipeline.cpp
+}  // namespace detail
 
 /// What a pass's run function sees: its bound inputs, a place to put its
 /// outputs, and the run's worker pool.
@@ -156,6 +184,7 @@ class PassContext {
 
  private:
   friend class Pipeline;
+  friend struct detail::ForestRun;
   const std::vector<std::string>* input_names_ = nullptr;
   const std::vector<PipelineValue*>* inputs_ = nullptr;
   const std::vector<std::string>* output_names_ = nullptr;
@@ -212,6 +241,9 @@ class Pipeline {
   /// passes bind their cached outputs instead of running. Throws
   /// std::invalid_argument on an input no pass produces and on dependency
   /// cycles. `pool` is handed to pass contexts; it never affects results.
+  /// If a pass throws, the exception propagates and the bound state is
+  /// cleared: output_value never serves a mix of stale and fresh resources
+  /// from a partially completed run.
   RunStats run(PassCache* cache = nullptr, ThreadPool* pool = nullptr);
 
   /// A resource bound by the last run. Throws std::logic_error when the
@@ -233,6 +265,9 @@ class Pipeline {
   [[nodiscard]] std::size_t pass_count() const { return nodes_.size(); }
 
  private:
+  friend class ForestScheduler;
+  friend struct detail::ForestRun;
+
   struct Node {
     Pass pass;
     std::uint64_t executions = 0;
@@ -250,6 +285,75 @@ class Pipeline {
   bool order_valid_ = false;
   /// resource name -> value bound by the last run.
   std::unordered_map<std::string, PipelineValue> bound_;
+};
+
+// ---------------------------------------------------------------- forest
+
+/// Cross-pipeline overlapped scheduler: runs N pipelines that share one
+/// PassCache as a single merged frontier, dispatching ready passes from
+/// *different* pipelines concurrently as tasks on a ThreadPool (variant B
+/// simulates while variant A computes panels). Per-pipeline results are
+/// identical to running each pipeline serially — passes are deterministic
+/// and lane-invariant, so only wall-clock and peak memory change.
+///
+/// Two forest-only mechanisms on top of plain per-pipeline runs:
+///
+///   - In-flight dedup. When two pipelines need the same uncomputed pass
+///     (equal digest, same pass name and output arity), the first to become
+///     ready executes it and the second binds the finished outputs — the
+///     pass runs once for the whole forest even when both variants hit the
+///     frontier before either result lands in the cache.
+///   - Transient resource release. A resource named in Options::transient
+///     is dropped — unbound from every holding pipeline and erased from the
+///     cache — as soon as its last consumer anywhere in the forest has run.
+///     This caps peak RSS for hundred-variant forests whose intermediates
+///     (e.g. planned_fleet) would otherwise all stay live. Transient
+///     resources are not retrievable via output_value after the run.
+///
+/// Passes executed on pool tasks receive a null PassContext::pool() (the
+/// pool's one rule is no nested parallel_for from inside a task);
+/// cross-variant overlap replaces intra-pass lanes. With workers <= 1 or
+/// no pool the same scheduler runs inline on the caller — dedup, release,
+/// and stats behave identically, and passes keep Options::pool for
+/// intra-pass parallel_for.
+///
+/// On a pass failure the first exception is rethrown after all in-flight
+/// tasks drain, and every pipeline's bound state is cleared (the same
+/// no-partial-state rule as Pipeline::run).
+class ForestScheduler {
+ public:
+  struct Options {
+    /// Task pool for overlapped execution (also handed to passes when
+    /// running inline). nullptr or workers <= 1 = inline scheduling.
+    ThreadPool* pool = nullptr;
+    /// Maximum passes in flight at once (effective concurrency is capped
+    /// by the pool size).
+    int workers = 1;
+    /// Resource names to release once their last forest consumer ran.
+    /// A transient should have at least one consumer in every pipeline
+    /// that produces it; a consumerless instance is released immediately
+    /// on production.
+    std::vector<std::string> transient;
+  };
+  struct Stats {
+    std::size_t executed = 0;   ///< passes actually run
+    std::size_t cached = 0;     ///< passes bound from the shared cache
+    std::size_t deduped = 0;    ///< passes bound from an in-flight twin
+    std::size_t released = 0;   ///< transient instances released
+    /// Peak number of transient resource instances live at once — the
+    /// residency figure the sweep driver reports (25 variants with release
+    /// hold ~1, without release all 25 planned fleets stay resident).
+    std::size_t peak_resident = 0;
+  };
+
+  /// Run every pipeline in `pipelines` to completion. Pipelines must be
+  /// distinct objects; results (bound resources, execution counters) land
+  /// exactly as if each had run alone against the same warm cache.
+  static Stats run(const std::vector<Pipeline*>& pipelines, PassCache& cache,
+                   const Options& opts);
+  static Stats run(const std::vector<Pipeline*>& pipelines, PassCache& cache) {
+    return run(pipelines, cache, Options{});
+  }
 };
 
 }  // namespace nbv6::engine

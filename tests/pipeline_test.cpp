@@ -165,6 +165,84 @@ TEST(Pipeline, ConfigDigestChangeDirtiesDownstream) {
   EXPECT_EQ(back.cached, 3u);
 }
 
+// A cache hit must require more than a matching 64-bit digest: a colliding
+// entry stored by a different pass (different name, or different output
+// arity) previously bound out of bounds / wrong-typed values silently.
+TEST(PassCache, CollidingEntryFromDifferentPassIsAMiss) {
+  PassCache cache;
+  cache.store(42, "alpha",
+              {engine::PipelineValue::wrap(int{1}),
+               engine::PipelineValue::wrap(int{2})});
+  EXPECT_FALSE(cache.find(42, "beta", 2).has_value());   // name mismatch
+  EXPECT_FALSE(cache.find(42, "alpha", 1).has_value());  // arity mismatch
+  EXPECT_TRUE(cache.find(42, "alpha", 2).has_value());
+  EXPECT_FALSE(cache.find(43, "alpha", 2).has_value());  // plain miss
+
+  // erase is name-guarded the same way.
+  EXPECT_FALSE(cache.erase(42, "beta"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.erase(42, "alpha"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// Forced end-to-end collision: pre-store an impostor entry under the exact
+// digest a two-output pass will compute. Pre-fix, Pipeline::run trusted the
+// digest and read the impostor's single-element output list out of bounds;
+// now the mismatch reads as a miss and the pass executes.
+TEST(Pipeline, ForcedDigestCollisionTreatedAsMiss) {
+  int runs = 0;
+  Pipeline pipe;
+  pipe.add(make_pass("wide", {}, {"x", "y"}, &runs));
+  const auto discovery = pipe.run();  // no cache: learn the digest
+  ASSERT_EQ(discovery.passes.size(), 1u);
+  const std::uint64_t digest = discovery.passes[0].digest;
+
+  PassCache cache;
+  cache.store(digest, "impostor",
+              {engine::PipelineValue::wrap(std::string("not an int"))});
+  const auto stats = pipe.run(&cache);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cached, 0u);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(pipe.output<int>("x"), 1);
+  EXPECT_EQ(pipe.output<int>("y"), 1);
+}
+
+// A pass failure must not leave bound state half-populated: before the
+// fix, output_value served the failed run's fresh upstream results (and
+// nothing downstream) exactly as if the run had completed.
+TEST(Pipeline, ThrowingPassClearsBoundState) {
+  auto armed = std::make_shared<bool>(false);
+  Pipeline pipe;
+  pipe.add(make_pass("a", {}, {"x"}));
+  Pass boom;
+  boom.name = "boom";
+  boom.inputs = {"x"};
+  boom.outputs = {"y"};
+  boom.run = [armed](PassContext& ctx) {
+    if (*armed) throw std::runtime_error("pass blew up");
+    ctx.out("y", int{2});
+  };
+  pipe.add(std::move(boom));
+
+  // Successful run: both resources bound.
+  pipe.run();
+  EXPECT_EQ(pipe.output<int>("x"), 1);
+  EXPECT_EQ(pipe.output<int>("y"), 2);
+
+  // Failed run: nothing bound — neither the failed pass's missing output
+  // nor the upstream output that did re-run this time.
+  *armed = true;
+  EXPECT_THROW(pipe.run(), std::runtime_error);
+  EXPECT_THROW((void)pipe.output_value("x"), std::logic_error);
+  EXPECT_THROW((void)pipe.output_value("y"), std::logic_error);
+
+  // The pipeline stays usable: disarm and run clean again.
+  *armed = false;
+  pipe.run();
+  EXPECT_EQ(pipe.output<int>("y"), 2);
+}
+
 TEST(Pipeline, UncachedSinkPassAlwaysExecutes) {
   int sink_runs = 0;
   Pipeline pipe;
