@@ -283,6 +283,7 @@ struct ForestNode {
   /// executing task reads them without touching the map itself.
   std::vector<PipelineValue*> inputs;
   bool registered_inflight = false;
+  bool scheduled = false;  ///< on_ready already fired for this node
   bool done = false;
 };
 
@@ -297,6 +298,11 @@ struct TransientInstance {
   /// erased on release only when every output of that pass is transient.
   bool producer_all_transient = true;
   std::size_t remaining = 0;          ///< forest-wide consumers not yet done
+  /// Holder producer nodes not yet finished. Release waits for this to hit
+  /// zero as well as `remaining`: erasing the cache entry while a
+  /// digest-identical twin's producer is still pending would force the twin
+  /// to re-execute a deduped pass (and double-count the release).
+  std::size_t producers_pending = 0;
   std::vector<Pipeline*> holders;     ///< pipelines binding this instance
   bool live = false;                  ///< produced and not yet released
 };
@@ -411,6 +417,7 @@ struct ForestRun {
           instances_.push_back(std::move(inst));
         }
         instances_[kit->second].holders.push_back(p);
+        ++instances_[kit->second].producers_pending;
         instance_of_.emplace(std::make_pair(p, name), kit->second);
       }
       // ...and consumer side (one decrement per declared input occurrence).
@@ -431,6 +438,12 @@ struct ForestRun {
 
   void on_ready(std::size_t i) {
     ForestNode& n = nodes_[i];
+    // Fire-once guard: a warm-cache hit during seeding completes a frontier
+    // node synchronously, and finish_node's recursion can complete its
+    // dependents (pending now 0) before the seed loop reaches them — the
+    // loop must not re-ready a node the recursion already handled.
+    if (n.scheduled) return;
+    n.scheduled = true;
     const Pass& pass = pass_of(n);
     // Prepare input pointers while the lock serializes bound_ mutations;
     // the executing task then only dereferences stable element addresses.
@@ -490,13 +503,18 @@ struct ForestRun {
         ++resident_;
         stats_.peak_resident = std::max(stats_.peak_resident, resident_);
       }
-      if (inst.remaining == 0) release(inst);  // consumerless transient
+      --inst.producers_pending;
+      // Consumerless transient: released once the last producing pipeline
+      // has bound it, not on first production — an early release would
+      // erase the cache entry a digest-identical twin still needs.
+      if (inst.producers_pending == 0 && inst.remaining == 0) release(inst);
     }
     for (const auto& in : pass.inputs) {
       auto iit = instance_of_.find(std::make_pair(n.pipe, in));
       if (iit == instance_of_.end()) continue;
       TransientInstance& inst = instances_[iit->second];
-      if (--inst.remaining == 0 && inst.live) release(inst);
+      if (--inst.remaining == 0 && inst.producers_pending == 0 && inst.live)
+        release(inst);
     }
 
     for (std::size_t d : n.dependents)
@@ -609,10 +627,10 @@ struct ForestRun {
     // the running tasks is all that is required before unwinding.
     cv_.wait(lock,
              [this] { return running_ == 0 && (aborting_ || ready_.empty()); });
-    if (!error_ && done_count_ != nodes_.size())
-      throw std::logic_error("ForestScheduler stalled: " +
-                             std::to_string(nodes_.size() - done_count_) +
-                             " passes never became ready");
+    // A stall is reported through error_, not thrown here: run()'s rollback
+    // (clear every pipeline's bound_) only fires on the error_ path, and a
+    // stalled forest must not leave pipelines serving partial state.
+    if (!error_ && done_count_ != nodes_.size()) error_ = stall_error();
   }
 
   void drive_inline() {
@@ -621,10 +639,10 @@ struct ForestRun {
       {
         std::lock_guard lock(m_);
         if (error_ || done_count_ == nodes_.size()) break;
-        if (ready_.empty())
-          throw std::logic_error("ForestScheduler stalled: " +
-                                 std::to_string(nodes_.size() - done_count_) +
-                                 " passes never became ready");
+        if (ready_.empty()) {
+          error_ = stall_error();  // see drive_parallel: rollback needs error_
+          break;
+        }
         i = ready_.back();
         ready_.pop_back();
       }
@@ -644,6 +662,13 @@ struct ForestRun {
         complete_executed(i, std::move(outputs));
       }
     }
+  }
+
+  std::exception_ptr stall_error() const {
+    return std::make_exception_ptr(
+        std::logic_error("ForestScheduler stalled: " +
+                         std::to_string(nodes_.size() - done_count_) +
+                         " passes never became ready"));
   }
 
   struct InFlight {

@@ -331,8 +331,10 @@ class ForestScheduler {
     int workers = 1;
     /// Resource names to release once their last forest consumer ran.
     /// A transient should have at least one consumer in every pipeline
-    /// that produces it; a consumerless instance is released immediately
-    /// on production.
+    /// that produces it; a consumerless instance is released as soon as
+    /// every pipeline producing it has bound it (never earlier — an early
+    /// release would evict the cache entry a digest-identical twin
+    /// producer still needs, breaking forest-wide dedup).
     std::vector<std::string> transient;
   };
   struct Stats {

@@ -80,6 +80,55 @@ TEST(ForestScheduler, DedupsDigestIdenticalPassesAcrossPipelines) {
   EXPECT_EQ(p2.output<int>("out"), 1);
 }
 
+// ------------------------------------------------------- warm-cache seed
+
+// Regression: seeding against a pre-warmed cache completes frontier nodes
+// synchronously, and finish_node's recursion completes their dependents
+// before the seed loop reaches them. on_ready must fire once per node —
+// double-firing double-counted done_count_ (a phantom "stalled" error),
+// double-bound outputs, and double-decremented transient refcounts.
+TEST(ForestScheduler, WarmCacheSeedCompletesEachNodeOnce) {
+  std::atomic<int> gen_runs{0};
+  std::atomic<int> mid_runs{0};
+  auto make_pipe = [&](std::uint64_t use_digest) {
+    auto pipe = std::make_unique<Pipeline>();
+    pipe->add(count_pass("gen", {}, {"base"}, &gen_runs));
+    pipe->add(count_pass("mid", {"base"}, {"refined"}, &mid_runs));
+    pipe->add(count_pass("use", {"refined"}, {"out"}, nullptr, use_digest));
+    return pipe;
+  };
+
+  for (int workers : {1, 2}) {
+    PassCache cache;
+    {  // Serial warm-up: every digest in both variants lands in the cache.
+      auto w1 = make_pipe(1);
+      auto w2 = make_pipe(2);
+      w1->run(&cache);
+      w2->run(&cache);
+    }
+    gen_runs = 0;
+    mid_runs = 0;
+
+    std::unique_ptr<engine::ThreadPool> pool;
+    if (workers > 1) pool = std::make_unique<engine::ThreadPool>(workers);
+    auto p1 = make_pipe(1);
+    auto p2 = make_pipe(2);
+    ForestScheduler::Options opts;
+    opts.pool = pool.get();
+    opts.workers = workers;
+    const auto stats = ForestScheduler::run({p1.get(), p2.get()}, cache, opts);
+
+    // Fully warm: every node binds from cache, exactly once, nothing runs.
+    EXPECT_EQ(stats.cached, 6u) << workers << " workers";
+    EXPECT_EQ(stats.executed, 0u) << workers << " workers";
+    EXPECT_EQ(stats.deduped, 0u) << workers << " workers";
+    EXPECT_EQ(gen_runs.load(), 0) << workers << " workers";
+    EXPECT_EQ(mid_runs.load(), 0) << workers << " workers";
+    EXPECT_EQ(p1->output<int>("out"), 1);
+    EXPECT_EQ(p2->output<int>("out"), 1);
+  }
+}
+
 // ---------------------------------------------------- transient release
 
 // A payload type whose liveness the test can observe from outside: the
@@ -152,6 +201,47 @@ TEST(ForestScheduler, SharedTransientReleasedForestWide) {
   EXPECT_EQ(p1->output<int>("out"), 1);
   EXPECT_EQ(p2->output<int>("out"), 1);
   EXPECT_EQ(cache.size(), 2u);  // the two use passes
+}
+
+// A consumerless transient shared by two digest-identical producers must
+// not be released (and its cache entry evicted) until *both* producing
+// pipelines have bound it — early release forced the twin to re-execute
+// the deduped pass and double-counted stats.released.
+TEST(ForestScheduler, ConsumerlessSharedTransientReleasedOnceAfterAllProducers) {
+  auto token = std::make_shared<int>(3);
+  std::atomic<int> gen_runs{0};
+
+  auto make_pipe = [&]() {
+    auto pipe = std::make_unique<Pipeline>();
+    Pass gen;
+    gen.name = "gen";
+    gen.outputs = {"tmp"};
+    gen.run = [token, &gen_runs](PassContext& ctx) {
+      gen_runs.fetch_add(1);
+      ctx.out("tmp", Tracked{token});
+    };
+    pipe->add(std::move(gen));
+    return pipe;
+  };
+  auto p1 = make_pipe();
+  auto p2 = make_pipe();
+
+  PassCache cache;
+  ForestScheduler::Options opts;
+  opts.transient = {"tmp"};
+  const auto stats = ForestScheduler::run({p1.get(), p2.get()}, cache, opts);
+
+  // One execution for the whole forest (the twin is an in-flight waiter),
+  // one release, and no surviving handle beyond the two gen lambdas.
+  EXPECT_EQ(gen_runs.load(), 1);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.released, 1u);
+  EXPECT_EQ(stats.peak_resident, 1u);
+  EXPECT_EQ(token.use_count(), 3);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_THROW((void)p1->output_value("tmp"), std::logic_error);
+  EXPECT_THROW((void)p2->output_value("tmp"), std::logic_error);
 }
 
 // ------------------------------------------------------ failure handling
@@ -289,6 +379,45 @@ TEST(ForestScheduler, TwentyFiveVariantForestMatchesSerialByteForByte) {
           << "variant " << v << " @ " << workers << " workers";
     }
   }
+}
+
+// The warm-cache path on the real scenario chain, transients enabled:
+// results must land exactly as if each pipeline had run alone against the
+// same warm cache (the header's equivalence promise), and the transient
+// entries leave the cache just as in the cold forest run. Regression for
+// the seed-time double-on_ready bug, which only a pre-warmed cache hits.
+TEST(ForestScheduler, ScenarioForestAgainstWarmCacheMatchesSerial) {
+  const auto catalog = traffic::build_paper_catalog();
+  const auto cfgs = variant_configs(3);
+
+  PassCache cache;
+  std::vector<std::string> expected;
+  for (const auto& cfg : cfgs) {  // serial warm-up, also the reference
+    Pipeline pipe = core::make_scenario_pipeline(cfg, catalog);
+    pipe.run(&cache);
+    expected.push_back(serialize_pipe(cfg, pipe));
+  }
+
+  std::vector<std::unique_ptr<Pipeline>> pipes;
+  std::vector<Pipeline*> ptrs;
+  for (const auto& cfg : cfgs) {
+    pipes.push_back(std::make_unique<Pipeline>(
+        core::make_scenario_pipeline(cfg, catalog)));
+    ptrs.push_back(pipes.back().get());
+  }
+  ForestScheduler::Options opts;
+  opts.transient = core::scenario_transient_resources();
+  const auto stats = ForestScheduler::run(ptrs, cache, opts);
+
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.cached, 18u);  // 3 variants x 6 passes, all warm
+  for (std::size_t v = 0; v < cfgs.size(); ++v) {
+    EXPECT_EQ(serialize_pipe(cfgs[v], *pipes[v]), expected[v])
+        << "variant " << v;
+  }
+  // Transient release behaves as in the cold run: the shared sample entry
+  // and the three timeline entries are erased, 12 survive.
+  EXPECT_EQ(cache.size(), 12u);
 }
 
 // Transient release on the scenario chain observable from the cache side:
