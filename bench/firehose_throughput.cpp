@@ -30,26 +30,26 @@ int main(int argc, char** argv) {
   cfg.residences = 64;
   cfg.days = 14;
   cfg.seed = 1;
-  cfg.arrival.ticks_per_hour = 12;
+  cfg.arrival->ticks_per_hour = 12;
   std::string mode = "poisson";
   int threads = 0;
 
   bench::Cli cli("firehose_throughput",
                  "Streaming flow-firehose throughput measurement");
-  cli.flag_int("residences", &cfg.residences, "fleet size",
+  cli.flag_int("residences", &cfg.residences.mut(), "fleet size",
                "NBV6_FIREHOSE_RESIDENCES");
-  cli.flag_int("days", &cfg.days, "simulated horizon in days",
+  cli.flag_int("days", &cfg.days.mut(), "simulated horizon in days",
                "NBV6_FIREHOSE_DAYS");
   cli.flag_int("threads", &threads, "worker lanes, 0 = hw concurrency",
                "NBV6_FIREHOSE_THREADS");
-  cli.flag_int("tph", &cfg.arrival.ticks_per_hour, "arrival ticks per hour",
+  cli.flag_int("tph", &cfg.arrival->ticks_per_hour, "arrival ticks per hour",
                "NBV6_FIREHOSE_TPH");
   cli.flag_string("mode", &mode, "arrival mode: batch|poisson|uniform",
                   "NBV6_FIREHOSE_MODE");
-  cli.flag_u64("seed", &cfg.seed, "scenario master seed",
+  cli.flag_u64("seed", &cfg.seed.mut(), "scenario master seed",
                "NBV6_FIREHOSE_SEED");
   if (!cli.parse(argc, argv)) return cli.exit_code();
-  if (!traffic::parse_arrival_mode(mode, cfg.arrival.mode)) {
+  if (!traffic::parse_arrival_mode(mode, cfg.arrival->mode)) {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 2;
   }
@@ -74,7 +74,8 @@ int main(int argc, char** argv) {
       "firehose: %d residences x %d days, mode=%s tph=%d, %d lane(s)\n"
       "  %llu flows (%llu external) / %llu sessions in %.3f s\n"
       "  %.0f flows/sec, %.0f flows/sec/core\n",
-      cfg.residences, cfg.days, mode.c_str(), cfg.arrival.ticks_per_hour,
+      cfg.residences.get(), cfg.days.get(), mode.c_str(),
+      cfg.arrival->ticks_per_hour,
       result.lanes, static_cast<unsigned long long>(result.flows),
       static_cast<unsigned long long>(external),
       static_cast<unsigned long long>(result.totals.sessions), secs, fps,
@@ -82,7 +83,8 @@ int main(int argc, char** argv) {
   std::printf(
       "RESULT residences=%d days=%d mode=%s tph=%d lanes=%d flows=%llu "
       "bytes=%llu seconds=%.6f flows_per_sec=%.1f flows_per_sec_per_core=%.1f\n",
-      cfg.residences, cfg.days, mode.c_str(), cfg.arrival.ticks_per_hour,
+      cfg.residences.get(), cfg.days.get(), mode.c_str(),
+      cfg.arrival->ticks_per_hour,
       result.lanes, static_cast<unsigned long long>(result.flows),
       static_cast<unsigned long long>(bytes), secs, fps, fps_core);
   return result.flows > 0 ? 0 : 1;

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   auto catalog = traffic::build_paper_catalog();
   engine::FleetEngine fleet(catalog, cfg.threads);
   std::printf("fleet: %d residences x %d days on %d lane(s)\n",
-              cfg.residences, cfg.days, fleet.lanes());
+              cfg.residences.get(), cfg.days.get(), fleet.lanes());
   auto result = fleet.run(cfg);
 
   auto matrix = core::extract_metrics(result, core::default_fleet_metrics(),

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   auto catalog = traffic::build_paper_catalog();
   engine::FleetEngine fleet(catalog, cfg.threads);
   std::printf("fleet: %d residences x %d days on %d lane(s)\n",
-              cfg.residences, cfg.days, fleet.lanes());
+              cfg.residences.get(), cfg.days.get(), fleet.lanes());
   auto result = fleet.run(cfg);
 
   auto report = core::fleet_stats_report(result, fleet.pool());

@@ -243,8 +243,8 @@ void BM_FirehoseStream(benchmark::State& state) {
   cfg.residences = static_cast<int>(state.range(0));
   cfg.days = 2;
   cfg.seed = 21;
-  cfg.arrival.mode = traffic::ArrivalMode::poisson;
-  cfg.arrival.ticks_per_hour = 12;
+  cfg.arrival->mode = traffic::ArrivalMode::poisson;
+  cfg.arrival->ticks_per_hour = 12;
   auto catalog = traffic::build_paper_catalog();
   engine::Firehose hose(catalog, 4);
   std::uint64_t flows = 0;

@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
   cli.flag_bool("overlap", &overlap,
                 "run the overlapped cross-variant forest and diff it "
                 "against the serial path");
-  cli.flag_int("residences", &base.residences, "base fleet size");
-  cli.flag_int("days", &base.days, "base horizon in days");
-  cli.flag_u64("seed", &base.seed, "base scenario master seed");
+  cli.flag_int("residences", &base.residences.mut(), "base fleet size");
+  cli.flag_int("days", &base.days.mut(), "base horizon in days");
+  cli.flag_u64("seed", &base.seed.mut(), "base scenario master seed");
   cli.flag_string("outdir", &outdir,
                   "also render per-variant panel/CDF/summary files here");
   cli.flag_string("scenario", &scenario_path,
@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
   if (!overlap) workers = 1;
 
   std::printf("sweep: %d variants of %d residences x %d days on %d lane(s)",
-              variants, base.residences, base.days, lanes);
+              variants, base.residences.get(), base.days.get(), lanes);
   if (overlap)
     std::printf(", overlapped at %d worker(s)", workers);
   std::printf("\n");
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
       fix.start_day = cfg.days / 4;
       fix.end_day = cfg.days - 1;
       fix.fraction = static_cast<double>(v) / variants;
-      cfg.timeline.events.push_back(fix);
+      cfg.timeline->events.push_back(fix);
     }
     core::ScenarioPassOptions o;
     o.sink_dir = outdir;

@@ -41,10 +41,10 @@ int main(int argc, char** argv) {
   engine::apply_timeline(sampled, cfg.timeline, cfg.seed, cfg.days);
   engine::FleetEngine fleet(catalog, cfg.threads);
   std::printf("fleet: %d residences x %d days on %d lane(s)\n",
-              cfg.residences, cfg.days, fleet.lanes());
-  if (!cfg.timeline.empty()) {
+              cfg.residences.get(), cfg.days.get(), fleet.lanes());
+  if (!cfg.timeline->empty()) {
     std::printf("timeline:");
-    for (const auto& ev : cfg.timeline.events)
+    for (const auto& ev : cfg.timeline->events)
       std::printf(" %s[%d..%d]", engine::to_string(ev.kind), ev.start_day,
                   std::min(ev.end_day, cfg.days - 1));
     std::printf("\n");
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
   // With a timeline, compare the horizon's two halves per residence: the
   // before/after view of whatever the scenario scheduled (rollout waves,
   // fixes, migrations) with the paired signed-rank machinery.
-  if (!cfg.timeline.empty() && cfg.days >= 2) {
+  if (!cfg.timeline->empty() && cfg.days >= 2) {
     core::DayWindow pre{0, cfg.days / 2 - 1};
     core::DayWindow post{cfg.days / 2, cfg.days - 1};
     auto metrics = core::default_fleet_metrics();

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   fix.start_day = base.days / 2;
   fix.end_day = base.days - 1;
   fix.fraction = 0.6;
-  whatif.timeline.events.push_back(fix);
+  whatif.timeline->events.push_back(fix);
 
   const auto catalog = traffic::build_paper_catalog();
   engine::PassCache cache;

@@ -1,6 +1,7 @@
 #include "core/scenario_pipeline.h"
 
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -179,8 +180,8 @@ std::uint64_t population_digest(const FleetConfig& cfg,
       .f64(cfg.absence_prob)
       .f64(cfg.activity_scale_min)
       .f64(cfg.activity_scale_max)
-      .u64(static_cast<std::uint64_t>(cfg.arrival.mode))
-      .i64(cfg.arrival.ticks_per_hour)
+      .u64(static_cast<std::uint64_t>(cfg.arrival->mode))
+      .i64(cfg.arrival->ticks_per_hour)
       .u64(catalog.content_digest())
       .value();
 }
@@ -190,8 +191,8 @@ std::uint64_t timeline_digest(const FleetConfig& cfg,
   DigestBuilder db;
   db.str("timeline").u64(cfg.seed).i64(cfg.days).u64(
       static_cast<std::uint64_t>(mode));
-  db.u64(cfg.timeline.events.size());
-  for (const auto& ev : cfg.timeline.events) {
+  db.u64(cfg.timeline->events.size());
+  for (const auto& ev : cfg.timeline->events) {
     db.u64(static_cast<std::uint64_t>(ev.kind))
         .i64(ev.start_day)
         .i64(ev.end_day)
@@ -248,6 +249,85 @@ Pipeline make_scenario_pipeline(const FleetConfig& cfg,
 
 std::vector<std::string> scenario_transient_resources() {
   return {"population", "planned_fleet"};
+}
+
+std::vector<PassReadAudit> audit_scenario_passes(
+    const FleetConfig& cfg, const traffic::ServiceCatalog& catalog,
+    const ScenarioPassOptions& opts, const ScenarioAuditHooks& hooks) {
+  // Build the standard passes with no tracker active: the factories copy
+  // cfg into their run lambdas, and a copy must not count as a read.
+  std::vector<Pass> passes;
+  passes.push_back(sample_pass(cfg, catalog));
+  passes.push_back(timeline_pass(cfg, opts.plan_mode));
+  passes.push_back(simulate_pass(catalog));
+  passes.push_back(metrics_pass());
+  passes.push_back(report_pass(opts.alpha));
+  passes.push_back(window_panel_pass(cfg, opts.alpha));
+
+  auto audits = std::make_shared<std::vector<PassReadAudit>>();
+  audits->resize(passes.size());
+
+  // Per-pass digest read sets: re-run each pass's digest computation under
+  // its own tracker scope. The recomputed value also replaces the pass's
+  // config_digest, so a hooked (deliberately broken) slice is the one the
+  // audit actually measures.
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    Pass& p = passes[i];
+    engine::ConfigReadTracker::Scope scope;
+    if (p.name == "sample") {
+      p.config_digest = hooks.population_digest
+                            ? hooks.population_digest(cfg, catalog)
+                            : population_digest(cfg, catalog);
+    } else if (p.name == "timeline") {
+      p.config_digest = timeline_digest(cfg, opts.plan_mode);
+    } else if (p.name == "simulate") {
+      p.config_digest = catalog.content_digest();
+    } else if (p.name == "metrics") {
+      p.config_digest = metrics_digest(default_fleet_metrics());
+    } else if (p.name == "report") {
+      p.config_digest = DigestBuilder().f64(opts.alpha).value();
+    } else if (p.name == "window_panel") {
+      p.config_digest = panel_digest(cfg, opts.alpha);
+    }
+    (*audits)[i].pass = p.name;
+    (*audits)[i].digest_reads = scope.reads();
+  }
+
+  // Per-pass run read sets: wrap each body in a tracker scope. The
+  // pipeline runs uncached (every pass executes) and poolless (every read
+  // lands on this thread, where the scope is active).
+  Pipeline pipe;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    Pass p = std::move(passes[i]);
+    auto inner = std::move(p.run);
+    p.run = [inner = std::move(inner), audits, i](PassContext& ctx) {
+      engine::ConfigReadTracker::Scope scope;
+      inner(ctx);
+      (*audits)[i].run_reads = scope.reads();
+    };
+    pipe.add(std::move(p));
+  }
+  pipe.run(/*cache=*/nullptr, /*pool=*/nullptr);
+  return *audits;
+}
+
+engine::ConfigReadSet uncovered_config_reads(const PassReadAudit& audit) {
+  engine::ConfigReadSet uncovered = audit.run_reads & ~audit.digest_reads;
+  // The one field read at run time that is digest-excluded by design:
+  // thread count can never change what a pass computes (lane invariance is
+  // golden-pinned), so it must not change pass identity either.
+  uncovered.reset(static_cast<std::size_t>(engine::ConfigField::threads));
+  return uncovered;
+}
+
+std::string describe_read_set(const engine::ConfigReadSet& reads) {
+  std::string out;
+  for (std::size_t i = 0; i < engine::kConfigFieldCount; ++i) {
+    if (!reads.test(i)) continue;
+    if (!out.empty()) out += ", ";
+    out += to_string(static_cast<engine::ConfigField>(i));
+  }
+  return out;
 }
 
 void replace_scenario_config(Pipeline& pipe, const FleetConfig& cfg,

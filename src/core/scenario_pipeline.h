@@ -30,10 +30,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/fleet_analysis.h"
+#include "engine/config_tracking.h"
 #include "engine/fleet.h"
 #include "engine/pipeline.h"
 #include "engine/timeline.h"
@@ -93,6 +95,46 @@ engine::Pipeline make_scenario_pipeline(const engine::FleetConfig& cfg,
 /// term — while "fleet_result"/"stats_report"/"window_panel" stay bound
 /// (they are what a sweep exists to read).
 std::vector<std::string> scenario_transient_resources();
+
+// ------------------------------------------------------------- auditing
+
+/// One standard pass's observed FleetConfig read sets: which fields its
+/// digest slice covered (recorded while computing the config digest) and
+/// which fields its body actually read (recorded while the pass ran).
+struct PassReadAudit {
+  std::string pass;
+  engine::ConfigReadSet digest_reads;
+  engine::ConfigReadSet run_reads;
+};
+
+/// Negative-test seam for the digest auditor: when set, replaces the
+/// corresponding digest computation so a test can seed a deliberately
+/// incomplete slice and prove the audit catches it.
+struct ScenarioAuditHooks {
+  std::function<std::uint64_t(const engine::FleetConfig&,
+                              const traffic::ServiceCatalog&)>
+      population_digest;
+};
+
+/// Run the six standard scenario passes once, inline and uncached, under
+/// config read tracking, and report each pass's digest_reads vs run_reads.
+/// File-sink passes are not registered (they read paths, not config).
+/// This is the enforcement side of the digest-slice contract documented at
+/// the top of this header: tests/digest_audit_test.cpp fails when any pass
+/// reads a field its digest slice misses — the PR 8/9 stale-cache class.
+std::vector<PassReadAudit> audit_scenario_passes(
+    const engine::FleetConfig& cfg, const traffic::ServiceCatalog& catalog,
+    const ScenarioPassOptions& opts = {},
+    const ScenarioAuditHooks& hooks = {});
+
+/// Fields the pass body read that its digest slice does not cover, minus
+/// the one deliberate exclusion: `threads`. Lane count must never change
+/// results (the engine's determinism invariant), so it is excluded from
+/// every digest on purpose. A non-empty result is a stale-cache bug.
+engine::ConfigReadSet uncovered_config_reads(const PassReadAudit& audit);
+
+/// "days, seed, timeline"-style rendering for audit failure messages.
+std::string describe_read_set(const engine::ConfigReadSet& reads);
 
 /// Swap a new scenario config into an already-registered pipeline,
 /// replacing the sample/timeline/window passes in place (execution

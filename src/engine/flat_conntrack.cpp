@@ -17,6 +17,10 @@ FlatConntrack::FlatConntrack(flowmon::Timestamp idle_timeout,
 
 std::size_t FlatConntrack::probe(const net::FlowKey& key,
                                  std::uint64_t hash) const {
+  // Contract: 0 marks an empty slot, so a zero hash would probe forever;
+  // the table is power-of-two sized so `& mask` is a valid modulo.
+  assert(hash != 0);
+  assert(std::has_single_bit(slots_.size()));
   const std::size_t mask = slots_.size() - 1;
   std::size_t i = static_cast<std::size_t>(hash) & mask;
   while (slots_[i].hash != 0) {
@@ -61,6 +65,9 @@ FlatConntrack::Slot& FlatConntrack::insert_at(std::size_t idx,
 }
 
 void FlatConntrack::erase_slot(std::size_t idx) {
+  // Contract: only live slots are erased; backward-shift deletion on an
+  // empty slot would corrupt the probe chains of its neighbors.
+  assert(idx < slots_.size() && slots_[idx].hash != 0);
   const std::size_t mask = slots_.size() - 1;
   std::size_t hole = idx;
   std::size_t i = (idx + 1) & mask;
@@ -81,6 +88,9 @@ void FlatConntrack::erase_slot(std::size_t idx) {
 }
 
 bool FlatConntrack::hot_hit(const net::FlowKey& key) const {
+  // The memo may be stale (rehash, backward shift) but never out of
+  // bounds: grow() and erase_slot() keep it inside the current table.
+  assert(hot_idx_ < slots_.size());
   const Slot& s = slots_[hot_idx_];
   return s.hash != 0 && s.record.key == key;
 }

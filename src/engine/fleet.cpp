@@ -64,7 +64,7 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text,
       auto ev = Timeline::parse_event(key.substr(9), val, &ev_error);
       if (!ev)
         return fail(at_line(line_no, std::string(key) + ": " + ev_error));
-      cfg.timeline.events.push_back(*ev);
+      cfg.timeline->events.push_back(*ev);
       event_lines.push_back(line_no);
       continue;
     }
@@ -80,27 +80,28 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text,
       return parse_double(val, out) && out >= 0.0 && out <= 1.0;
     };
     bool ok;
-    if (key == "residences") ok = parse_int(val, cfg.residences);
-    else if (key == "days") ok = parse_int(val, cfg.days);
-    else if (key == "threads") ok = parse_int(val, cfg.threads);
-    else if (key == "seed") ok = parse_u64(val, cfg.seed);
-    else if (key == "dual_stack_isp_frac") ok = frac(cfg.dual_stack_isp_frac);
-    else if (key == "broken_v6_frac") ok = frac(cfg.broken_v6_frac);
-    else if (key == "heavy_streamer_frac") ok = frac(cfg.heavy_streamer_frac);
-    else if (key == "background_only_frac") ok = frac(cfg.background_only_frac);
-    else if (key == "opt_out_frac") ok = frac(cfg.opt_out_frac);
-    else if (key == "absence_prob") ok = frac(cfg.absence_prob);
+    if (key == "residences") ok = parse_int(val, cfg.residences.mut());
+    else if (key == "days") ok = parse_int(val, cfg.days.mut());
+    else if (key == "threads") ok = parse_int(val, cfg.threads.mut());
+    else if (key == "seed") ok = parse_u64(val, cfg.seed.mut());
+    else if (key == "dual_stack_isp_frac") ok = frac(cfg.dual_stack_isp_frac.mut());
+    else if (key == "broken_v6_frac") ok = frac(cfg.broken_v6_frac.mut());
+    else if (key == "heavy_streamer_frac") ok = frac(cfg.heavy_streamer_frac.mut());
+    else if (key == "background_only_frac") ok = frac(cfg.background_only_frac.mut());
+    else if (key == "opt_out_frac") ok = frac(cfg.opt_out_frac.mut());
+    else if (key == "absence_prob") ok = frac(cfg.absence_prob.mut());
     else if (key == "activity_scale_min")
-      ok = parse_double(val, cfg.activity_scale_min) &&
+      ok = parse_double(val, cfg.activity_scale_min.mut()) &&
            cfg.activity_scale_min >= 0.0;
     else if (key == "activity_scale_max")
-      ok = parse_double(val, cfg.activity_scale_max) &&
+      ok = parse_double(val, cfg.activity_scale_max.mut()) &&
            cfg.activity_scale_max >= 0.0;
     else if (key == "arrival.mode")
-      ok = traffic::parse_arrival_mode(val, cfg.arrival.mode);
+      ok = traffic::parse_arrival_mode(val, cfg.arrival->mode);
     else if (key == "arrival.ticks_per_hour")
-      ok = parse_int(val, cfg.arrival.ticks_per_hour) &&
-           cfg.arrival.ticks_per_hour >= 1 && cfg.arrival.ticks_per_hour <= 3600;
+      ok = parse_int(val, cfg.arrival->ticks_per_hour) &&
+           cfg.arrival->ticks_per_hour >= 1 &&
+           cfg.arrival->ticks_per_hour <= 3600;
     else  // unknown key: fail loudly, not silently
       return fail(at_line(line_no, "unknown key '" + std::string(key) + "'"));
     if (!ok)
@@ -122,8 +123,8 @@ std::optional<FleetConfig> FleetConfig::parse(std::string_view text,
   // not intent, so it fails the parse. Open-ended windows (no `end=`) and
   // windows whose tail runs past the horizon stay legal: evaluation clamps
   // them to [start_day, days - 1] deterministically.
-  for (size_t e = 0; e < cfg.timeline.events.size(); ++e) {
-    const auto& ev = cfg.timeline.events[e];
+  for (size_t e = 0; e < cfg.timeline->events.size(); ++e) {
+    const auto& ev = cfg.timeline->events[e];
     if (ev.start_day >= cfg.days)
       return fail(at_line(event_lines[e],
                           std::string("timeline.") + to_string(ev.kind) +

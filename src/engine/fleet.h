@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/config_tracking.h"
 #include "engine/thread_pool.h"
 #include "engine/timeline.h"
 #include "flowmon/monitor.h"
@@ -37,32 +38,39 @@ namespace nbv6::engine {
 /// A whole deployment in one value. Fractions are probabilities applied
 /// independently per residence; every derived quantity depends only on
 /// (seed, residence index), never on sampling order or thread count.
+///
+/// Every field is wrapped in Tracked<> (engine/config_tracking.h) so the
+/// digest-coverage auditor can record which fields each pipeline pass
+/// actually reads. Scalars behave like the bare type; struct fields
+/// (arrival, timeline) are reached via `->`; out-parameter writes use
+/// `.mut()`; varargs call sites use `.get()`.
 struct FleetConfig {
-  int residences = 64;
-  int days = 30;
+  Tracked<int, ConfigField::residences> residences = 64;
+  Tracked<int, ConfigField::days> days = 30;
   /// Worker lanes. <= 0 selects hardware concurrency; 1 runs on the
   /// calling thread only (the sequential reference).
-  int threads = 0;
-  std::uint64_t seed = 1;
+  Tracked<int, ConfigField::threads> threads = 0;
+  Tracked<std::uint64_t, ConfigField::seed> seed = 1;
 
   // ---- population mix -------------------------------------------------
   /// Fraction of households whose ISP delegates IPv6 at all (v4-only ISPs
   /// leave every device without working IPv6).
-  double dual_stack_isp_frac = 0.85;
+  Tracked<double, ConfigField::dual_stack_isp_frac> dual_stack_isp_frac = 0.85;
   /// Among dual-stack homes: fraction with partly broken device IPv6
   /// (Residence C's pattern).
-  double broken_v6_frac = 0.10;
+  Tracked<double, ConfigField::broken_v6_frac> broken_v6_frac = 0.10;
   /// Households whose service mix is dominated by streaming/downloads.
-  double heavy_streamer_frac = 0.25;
+  Tracked<double, ConfigField::heavy_streamer_frac> heavy_streamer_frac = 0.25;
   /// Vacant or instrumentation-only homes: background chatter only.
-  double background_only_frac = 0.05;
+  Tracked<double, ConfigField::background_only_frac> background_only_frac =
+      0.05;
   /// Privacy opt-outs: the router sees only part of the household.
-  double opt_out_frac = 0.20;
+  Tracked<double, ConfigField::opt_out_frac> opt_out_frac = 0.20;
   /// Chance of one scripted multi-day absence window (spring-break style).
-  double absence_prob = 0.30;
+  Tracked<double, ConfigField::absence_prob> absence_prob = 0.30;
   /// Interactive activity range (mean sessions per fully-active hour).
-  double activity_scale_min = 1.0;
-  double activity_scale_max = 9.5;
+  Tracked<double, ConfigField::activity_scale_min> activity_scale_min = 1.0;
+  Tracked<double, ConfigField::activity_scale_max> activity_scale_max = 9.5;
 
   // ---- arrivals --------------------------------------------------------
   /// How sessions land inside each simulated day: the original per-hour
@@ -70,7 +78,7 @@ struct FleetConfig {
   /// process. Config keys: `arrival.mode = batch|poisson|uniform` and
   /// `arrival.ticks_per_hour = N` (1..3600). Copied onto every sampled
   /// ResidenceConfig by sample_fleet.
-  traffic::ArrivalConfig arrival;
+  Tracked<traffic::ArrivalConfig, ConfigField::arrival> arrival;
 
   // ---- timeline --------------------------------------------------------
   /// Scheduled mid-observation changes (rollout waves, CPE fixes, outages,
@@ -78,7 +86,7 @@ struct FleetConfig {
   /// "timeline.<kind> = ..." config lines; see engine/timeline.h.
   /// Applied by FleetEngine::run(FleetConfig) — or explicitly via
   /// apply_timeline() when sampling by hand.
-  Timeline timeline;
+  Tracked<Timeline, ConfigField::timeline> timeline;
 
   /// Parse "key = value" lines ('#' starts a comment). The parse fails on:
   /// unknown keys, malformed or non-finite numbers, fractions outside

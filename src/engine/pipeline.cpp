@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <bit>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <map>
 #include <utility>
+
+#include "core/thread_annotations.h"
 
 namespace nbv6::engine {
 
@@ -19,7 +20,7 @@ DigestBuilder& DigestBuilder::f64(double v) {
 std::optional<std::vector<PipelineValue>> PassCache::find(
     std::uint64_t digest, std::string_view pass,
     std::size_t output_count) const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto it = map_.find(digest);
   if (it == map_.end()) return std::nullopt;
   // A digest collision across passes (different name, or same name with a
@@ -32,12 +33,12 @@ std::optional<std::vector<PipelineValue>> PassCache::find(
 
 void PassCache::store(std::uint64_t digest, std::string_view pass,
                       std::vector<PipelineValue> outputs) {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   map_[digest] = Entry{std::string(pass), std::move(outputs)};
 }
 
 bool PassCache::erase(std::uint64_t digest, std::string_view pass) {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto it = map_.find(digest);
   if (it == map_.end() || it->second.pass != pass) return false;
   map_.erase(it);
@@ -45,12 +46,12 @@ bool PassCache::erase(std::uint64_t digest, std::string_view pass) {
 }
 
 std::size_t PassCache::size() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return map_.size();
 }
 
 void PassCache::clear() {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   map_.clear();
 }
 
@@ -318,9 +319,9 @@ struct ForestRun {
         parallel_(opts.pool != nullptr && opts.workers > 1) {}
 
   ForestScheduler::Stats run() {
-    prepare();
     {
-      std::lock_guard lock(m_);
+      core::MutexLock lock(m_);
+      prepare();
       // Seed in (pipeline order, schedule order): deterministic, so which
       // digest-equal twin becomes the runner and which become waiters never
       // depends on thread timing for frontier-level passes.
@@ -331,19 +332,28 @@ struct ForestRun {
       drive_parallel();
     else
       drive_inline();
-    if (error_) {
+    // Both drivers have quiesced every task, but the analysis only knows
+    // error_/stats_ as guarded state — copy them out under the lock.
+    std::exception_ptr err;
+    ForestScheduler::Stats stats;
+    {
+      core::MutexLock lock(m_);
+      err = error_;
+      stats = stats_;
+    }
+    if (err) {
       // Same no-partial-state rule as Pipeline::run — a failed forest
       // leaves no pipeline serving a stale/fresh mix.
       for (Pipeline* p : pipes_) p->bound_.clear();
-      std::rethrow_exception(error_);
+      std::rethrow_exception(err);
     }
-    return stats_;
+    return stats;
   }
 
  private:
   // ------------------------------------------------------------- build
 
-  void prepare() {
+  void prepare() NBV6_REQUIRES(m_) {
     for (Pipeline* p : pipes_) {
       if (p == nullptr)
         throw std::invalid_argument("ForestScheduler: null pipeline");
@@ -436,7 +446,7 @@ struct ForestRun {
     return n.pipe->nodes_[n.node_idx].pass;
   }
 
-  void on_ready(std::size_t i) {
+  void on_ready(std::size_t i) NBV6_REQUIRES(m_) {
     ForestNode& n = nodes_[i];
     // Fire-once guard: a warm-cache hit during seeding completes a frontier
     // node synchronously, and finish_node's recursion can complete its
@@ -476,7 +486,8 @@ struct ForestRun {
     ready_.push_back(i);
   }
 
-  void bind_outputs(std::size_t i, const std::vector<PipelineValue>& outputs) {
+  void bind_outputs(std::size_t i, const std::vector<PipelineValue>& outputs)
+      NBV6_REQUIRES(m_) {
     ForestNode& n = nodes_[i];
     const Pass& pass = pass_of(n);
     for (std::size_t o = 0; o < pass.outputs.size(); ++o)
@@ -488,7 +499,7 @@ struct ForestRun {
   /// chains). Callers bind the node — and every dedup waiter sharing the
   /// result — *before* any finish_node call, so a release triggered here
   /// can never race a sibling's bind.
-  void finish_node(std::size_t i) {
+  void finish_node(std::size_t i) NBV6_REQUIRES(m_) {
     ForestNode& n = nodes_[i];
     const Pass& pass = pass_of(n);
     n.done = true;
@@ -521,7 +532,7 @@ struct ForestRun {
       if (--nodes_[d].pending == 0) on_ready(d);
   }
 
-  void release(TransientInstance& inst) {
+  void release(TransientInstance& inst) NBV6_REQUIRES(m_) {
     inst.live = false;
     --resident_;
     ++stats_.released;
@@ -530,7 +541,8 @@ struct ForestRun {
       cache_.erase(inst.producer_digest, inst.producer_pass);
   }
 
-  void complete_executed(std::size_t i, std::vector<PipelineValue> outputs) {
+  void complete_executed(std::size_t i, std::vector<PipelineValue> outputs)
+      NBV6_REQUIRES(m_) {
     ForestNode& n = nodes_[i];
     const Pass& pass = pass_of(n);
     ++n.pipe->nodes_[n.node_idx].executions;
@@ -553,7 +565,7 @@ struct ForestRun {
     }
   }
 
-  void dispatch_locked() {
+  void dispatch_locked() NBV6_REQUIRES(m_) {
     while (!aborting_ && running_ < static_cast<std::size_t>(workers_) &&
            !ready_.empty()) {
       const std::size_t i = ready_.back();
@@ -599,7 +611,7 @@ struct ForestRun {
       err = std::current_exception();
     }
     {
-      std::lock_guard lock(m_);
+      core::MutexLock lock(m_);
       --running_;
       if (err != nullptr) {
         if (!error_) error_ = err;
@@ -621,12 +633,13 @@ struct ForestRun {
   }
 
   void drive_parallel() {
-    std::unique_lock lock(m_);
+    core::MutexLock lock(m_);
     dispatch_locked();
     // Aborting leaves queued-but-undispatched nodes in ready_; draining
-    // the running tasks is all that is required before unwinding.
-    cv_.wait(lock,
-             [this] { return running_ == 0 && (aborting_ || ready_.empty()); });
+    // the running tasks is all that is required before unwinding. The
+    // predicate is an explicit loop (not a lambda) so the analysis sees the
+    // guarded reads happen with the lock held.
+    while (!(running_ == 0 && (aborting_ || ready_.empty()))) cv_.wait(lock);
     // A stall is reported through error_, not thrown here: run()'s rollback
     // (clear every pipeline's bound_) only fires on the error_ path, and a
     // stalled forest must not leave pipelines serving partial state.
@@ -637,7 +650,7 @@ struct ForestRun {
     for (;;) {
       std::size_t i;
       {
-        std::lock_guard lock(m_);
+        core::MutexLock lock(m_);
         if (error_ || done_count_ == nodes_.size()) break;
         if (ready_.empty()) {
           error_ = stall_error();  // see drive_parallel: rollback needs error_
@@ -655,7 +668,7 @@ struct ForestRun {
       } catch (...) {
         err = std::current_exception();
       }
-      std::lock_guard lock(m_);
+      core::MutexLock lock(m_);
       if (err != nullptr) {
         if (!error_) error_ = err;
       } else {
@@ -664,7 +677,7 @@ struct ForestRun {
     }
   }
 
-  std::exception_ptr stall_error() const {
+  std::exception_ptr stall_error() const NBV6_REQUIRES(m_) {
     return std::make_exception_ptr(
         std::logic_error("ForestScheduler stalled: " +
                          std::to_string(nodes_.size() - done_count_) +
@@ -683,25 +696,31 @@ struct ForestRun {
   const int workers_;
   const bool parallel_;
 
+  /// Structurally guarded by m_ but deliberately NOT annotated: execute()
+  /// reads nodes_[i].inputs and the pass definition lock-free by protocol —
+  /// both are pinned under the lock in on_ready() and immutable until the
+  /// task's completion handler retakes the lock. A GUARDED_BY here would
+  /// force execute() under the mutex and serialize every pass body.
   std::vector<ForestNode> nodes_;
-  std::vector<TransientInstance> instances_;
-  /// (pipeline, resource name) -> transient instance index.
-  std::map<std::pair<const Pipeline*, std::string>, std::size_t> instance_of_;
 
-  std::mutex m_;
-  std::condition_variable cv_;
+  core::Mutex m_;
+  core::CondVar cv_;
+  std::vector<TransientInstance> instances_ NBV6_GUARDED_BY(m_);
+  /// (pipeline, resource name) -> transient instance index.
+  std::map<std::pair<const Pipeline*, std::string>, std::size_t> instance_of_
+      NBV6_GUARDED_BY(m_);
   /// LIFO: newly-unblocked passes run before older frontier entries, so a
   /// variant's chain drains depth-first and its transients release before
   /// the scheduler fans out to the next variant — this is what keeps peak
   /// residency near the worker count instead of the variant count.
-  std::deque<std::size_t> ready_;
-  std::unordered_map<std::uint64_t, InFlight> inflight_;
-  std::size_t running_ = 0;
-  std::size_t done_count_ = 0;
-  std::size_t resident_ = 0;
-  bool aborting_ = false;
-  std::exception_ptr error_;
-  ForestScheduler::Stats stats_;
+  std::deque<std::size_t> ready_ NBV6_GUARDED_BY(m_);
+  std::unordered_map<std::uint64_t, InFlight> inflight_ NBV6_GUARDED_BY(m_);
+  std::size_t running_ NBV6_GUARDED_BY(m_) = 0;
+  std::size_t done_count_ NBV6_GUARDED_BY(m_) = 0;
+  std::size_t resident_ NBV6_GUARDED_BY(m_) = 0;
+  bool aborting_ NBV6_GUARDED_BY(m_) = false;
+  std::exception_ptr error_ NBV6_GUARDED_BY(m_);
+  ForestScheduler::Stats stats_ NBV6_GUARDED_BY(m_);
 };
 
 }  // namespace detail

@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -40,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "engine/thread_pool.h"
 
 namespace nbv6::engine {
@@ -146,8 +146,8 @@ class PassCache {
     std::string pass;
     std::vector<PipelineValue> outputs;
   };
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> map_;
+  mutable core::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> map_ NBV6_GUARDED_BY(mutex_);
 };
 
 // ---------------------------------------------------------------- passes

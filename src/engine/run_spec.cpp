@@ -27,7 +27,8 @@ SampledFleet sample_stage(const FleetConfig& cfg,
     stats::Rng rng(stats::splitmix64(state));
 
     traffic::ResidenceConfig r;
-    r.name = "R" + std::to_string(i);
+    r.name = "R";
+    r.name += std::to_string(i);
     r.days = cfg.days;
     r.arrival = cfg.arrival;
     r.seed = stats::splitmix64(state);  // simulator stream, distinct from sampler's
@@ -204,7 +205,7 @@ StreamStats stream_fleet(const traffic::ServiceCatalog& catalog,
 
 RunOutput RunSpec::run(const traffic::ServiceCatalog& catalog) const {
   if (detail_ != RunDetail::aggregate) return run_on(catalog, nullptr, 1);
-  int lanes = lanes_ != 0 ? lanes_ : cfg_.threads;
+  int lanes = lanes_ != 0 ? lanes_ : int(cfg_.threads);
   if (lanes <= 0) {
     lanes = static_cast<int>(std::thread::hardware_concurrency());
     lanes = std::max(lanes, 1);

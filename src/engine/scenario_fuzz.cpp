@@ -263,10 +263,10 @@ std::string to_config_text(const FleetConfig& cfg) {
   out += "activity_scale_min = " + fmt_double(cfg.activity_scale_min) + "\n";
   out += "activity_scale_max = " + fmt_double(cfg.activity_scale_max) + "\n";
   out += "arrival.mode = " +
-         std::string(traffic::to_string(cfg.arrival.mode)) + "\n";
+         std::string(traffic::to_string(cfg.arrival->mode)) + "\n";
   out += "arrival.ticks_per_hour = " +
-         std::to_string(cfg.arrival.ticks_per_hour) + "\n";
-  for (const auto& ev : cfg.timeline.events) {
+         std::to_string(cfg.arrival->ticks_per_hour) + "\n";
+  for (const auto& ev : cfg.timeline->events) {
     out += "timeline.";
     out += to_string(ev.kind);
     out += " = ";
@@ -350,7 +350,7 @@ std::optional<std::string> check_plan_parity(
   for (size_t i = 0; i < lazy.configs.size(); ++i) {
     const auto& lz = lazy.configs[i];
     const auto& mt = mat.configs[i];
-    if (cfg.timeline.empty()) {
+    if (cfg.timeline->empty()) {
       if (lz.day_plan_fn || !lz.day_plan.empty() || mt.day_plan_fn ||
           !mt.day_plan.empty())
         return "empty timeline left plan state on residence " +

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -37,8 +37,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -59,9 +59,9 @@ void ThreadPool::parallel_for(std::size_t count,
   struct Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<int> lanes_done{0};
-    std::mutex m;
-    std::condition_variable done;
-    std::exception_ptr error;  ///< first throw from any lane, guarded by m
+    core::Mutex m;
+    core::CondVar done;
+    std::exception_ptr error NBV6_GUARDED_BY(m);  ///< first throw, any lane
   };
   auto batch = std::make_shared<Batch>();
 
@@ -69,7 +69,7 @@ void ThreadPool::parallel_for(std::size_t count,
   // the remaining lanes drain quickly instead of finishing the batch.
   auto capture = [batch, count](std::exception_ptr e) {
     {
-      std::lock_guard lock(batch->m);
+      core::MutexLock lock(batch->m);
       if (!batch->error) batch->error = std::move(e);
     }
     batch->next.store(count, std::memory_order_relaxed);
@@ -97,7 +97,7 @@ void ThreadPool::parallel_for(std::size_t count,
         capture(std::current_exception());
       }
       {
-        std::lock_guard lock(batch->m);
+        core::MutexLock lock(batch->m);
         batch->lanes_done.fetch_add(1, std::memory_order_relaxed);
       }
       batch->done.notify_one();
@@ -113,13 +113,16 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   // Wait for the extra lanes; each increments lanes_done exactly once.
+  std::exception_ptr error;
   {
-    std::unique_lock lock(batch->m);
-    batch->done.wait(lock,
-                     [&] { return batch->lanes_done.load() == extra; });
+    core::MutexLock lock(batch->m);
+    while (batch->lanes_done.load() != extra) batch->done.wait(lock);
+    // All lanes have drained: the pool is reusable and batch state is
+    // stable. Copy the error out while the lock shows the analysis the
+    // guarded read is safe.
+    error = batch->error;
   }
-  // All lanes have drained: the pool is reusable and batch state is stable.
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace nbv6::engine

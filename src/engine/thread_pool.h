@@ -11,13 +11,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace nbv6::engine {
 
@@ -52,10 +52,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  core::Mutex mutex_;
+  std::deque<std::function<void()>> queue_ NBV6_GUARDED_BY(mutex_);
+  core::CondVar cv_;
+  bool stop_ NBV6_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace nbv6::engine

@@ -76,7 +76,12 @@ std::nullopt_t fail(std::string* error, std::string message) {
 }
 
 std::string quoted(std::string_view s) {
-  return "'" + std::string(s) + "'";
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '\'';
+  out += s;
+  out += '\'';
+  return out;
 }
 
 }  // namespace

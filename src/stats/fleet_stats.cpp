@@ -1,8 +1,10 @@
 #include "stats/fleet_stats.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "stats/wilcoxon.h"
@@ -165,6 +167,11 @@ void StreamingCdf::merge(const StreamingCdf& other) {
   double nn = static_cast<double>(count_);
   mean_ += delta * nb / nn;
   m2_ += other.m2_ + delta * delta * na * nb / nn;
+  // Postcondition: the bin histogram and the moment accumulator must agree
+  // on the sample count, or quantile()/cdf() interpolation drifts from
+  // mean()/stddev() — the invariant every shard reduction relies on.
+  assert(std::accumulate(bins_.begin(), bins_.end(), std::uint64_t{0}) ==
+         count_);
 }
 
 double StreamingCdf::mean() const { return count_ == 0 ? 0.0 : mean_; }

@@ -586,7 +586,10 @@ dns::ZoneDb Universe::build_zone(Epoch e) const {
       // identification signal.
       const auto& svc = providers_->at(static_cast<size_t>(f.provider))
                             .services[static_cast<size_t>(f.service)];
-      std::string target = "t" + std::to_string(id) + "." + svc.cname_suffix;
+      std::string target = "t";
+      target += std::to_string(id);
+      target += '.';
+      target += svc.cname_suffix;
       zone.add_cname(owner, target);
       owner = std::move(target);
     }

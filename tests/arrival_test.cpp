@@ -137,8 +137,8 @@ TEST(ArrivalEngine, BatchModeIsBitIdenticalToTheDefaultPath) {
   const std::string def = canonical_serialize(run_scenario(cfg, catalog, 2));
 
   engine::FleetConfig explicit_batch = cfg;
-  explicit_batch.arrival.mode = ArrivalMode::batch;
-  explicit_batch.arrival.ticks_per_hour = 7;  // ignored in batch mode
+  explicit_batch.arrival->mode = ArrivalMode::batch;
+  explicit_batch.arrival->ticks_per_hour = 7;  // ignored in batch mode
   const std::string batch =
       canonical_serialize(run_scenario(explicit_batch, catalog, 2));
   EXPECT_EQ(batch, def) << first_diff(batch, def);
@@ -152,8 +152,8 @@ TEST(ArrivalEngine, OpenLoopRunsAreLaneInvariant) {
     cfg.residences = 10;
     cfg.days = 5;
     cfg.seed = 123;
-    cfg.arrival.mode = mode;
-    cfg.arrival.ticks_per_hour = 7;  // does not divide 3600: worst case
+    cfg.arrival->mode = mode;
+    cfg.arrival->ticks_per_hour = 7;  // does not divide 3600: worst case
     const std::string base = canonical_serialize(run_scenario(cfg, catalog, 1));
     for (int lanes : {4, 8}) {
       const std::string other =
@@ -213,8 +213,8 @@ TEST(Firehose, EmissionIsCanonicalAndLaneInvariant) {
   cfg.residences = 10;
   cfg.days = 4;
   cfg.seed = 9;
-  cfg.arrival.mode = ArrivalMode::poisson;
-  cfg.arrival.ticks_per_hour = 6;
+  cfg.arrival->mode = ArrivalMode::poisson;
+  cfg.arrival->ticks_per_hour = 6;
 
   const FirehoseDigest base = digest_run(cfg, 1);
   EXPECT_GT(base.flows, 0u);
@@ -254,15 +254,15 @@ TEST(Firehose, FlashCrowdConcentratesEmissionInItsHours) {
   cfg.residences = 12;
   cfg.days = 6;
   cfg.seed = 55;
-  cfg.arrival.mode = ArrivalMode::poisson;
-  cfg.arrival.ticks_per_hour = 4;
+  cfg.arrival->mode = ArrivalMode::poisson;
+  cfg.arrival->ticks_per_hour = 4;
 
   engine::FleetConfig crowd = cfg;
   {
     auto ev = engine::Timeline::parse_event(
         "flash_crowd", "start=0 end=5 frac=1 hour=20 hours=2 mult=8");
     ASSERT_TRUE(ev.has_value());
-    crowd.timeline.events.push_back(*ev);
+    crowd.timeline->events.push_back(*ev);
   }
 
   auto hour_counts = [](const engine::FleetConfig& c) {

@@ -188,8 +188,12 @@ TEST_F(MultiCloudUnit, DetectsConsistentPreference) {
 TEST_F(MultiCloudUnit, NoDifferenceNotSignificant) {
   size_t cf = catalog_.find("Cloudflare, Inc.").value();
   size_t goog = catalog_.find("Google LLC").value();
-  for (int i = 0; i < 10; ++i)
-    add_tenant("t" + std::to_string(i) + ".com", cf, true, goog, true);
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    name += ".com";
+    add_tenant(name, cf, true, goog, true);
+  }
   MultiCloudComparison cmp(records_, catalog_);
   ASSERT_EQ(cmp.pairs().size(), 1u);
   EXPECT_FALSE(cmp.pairs()[0].comparable);  // zero differing tenants

@@ -255,7 +255,10 @@ TEST(ZoneDbIntern, RandomizedDifferentialAgainstOrderedMap) {
 
   std::mt19937_64 rng(20260808);
   auto rand_name = [&rng] {
-    return "h" + std::to_string(rng() % 64) + ".example";
+    std::string name = "h";
+    name += std::to_string(rng() % 64);
+    name += ".example";
+    return name;
   };
   for (int step = 0; step < 4000; ++step) {
     const std::string name = rand_name();

@@ -144,7 +144,7 @@ TEST(FleetConfigParse, RejectsDuplicateScalarKeys) {
       "timeline.outage = day=3\n"
       "timeline.outage = day=5\n");
   ASSERT_TRUE(cfg.has_value());
-  EXPECT_EQ(cfg->timeline.events.size(), 2u);
+  EXPECT_EQ(cfg->timeline->events.size(), 2u);
 }
 
 TEST(FleetConfigParse, RoundTripsTimelineKeys) {
@@ -517,7 +517,7 @@ TEST(RunSpec, PlanDetailAppliesTimeline) {
   ev.start_day = 2;
   ev.end_day = 5;
   ev.fraction = 1.0;
-  cfg.timeline.events.push_back(ev);
+  cfg.timeline->events.push_back(ev);
 
   auto planned = RunSpec(cfg)
                      .detail(RunDetail::plan)
@@ -557,8 +557,8 @@ TEST(RunSpec, FirehoseSinkMatchesFirehoseRun) {
   cfg.residences = 8;
   cfg.days = 4;
   cfg.seed = 5;
-  cfg.arrival.mode = traffic::ArrivalMode::poisson;
-  cfg.arrival.ticks_per_hour = 6;
+  cfg.arrival->mode = traffic::ArrivalMode::poisson;
+  cfg.arrival->ticks_per_hour = 6;
 
   std::uint64_t spec_bytes = 0;
   auto out = RunSpec(cfg)

@@ -162,9 +162,9 @@ TEST(FleetDayStats, PerDayMergeBitIdenticalAcrossLanes) {
   cfg.residences = 16;
   cfg.days = 12;
   cfg.seed = 404;
-  cfg.timeline.events.push_back(*engine::Timeline::parse_event(
+  cfg.timeline->events.push_back(*engine::Timeline::parse_event(
       "outage", "start=3 end=8 frac=0.5 len=2"));
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *engine::Timeline::parse_event("nat64_migration", "start=6 frac=0.4"));
 
   std::optional<engine::FleetResult> reference;
@@ -194,7 +194,7 @@ TEST(FleetDayStats, OutageDaysCarrySuppressedSessions) {
   cfg.days = 10;
   cfg.seed = 21;
   cfg.background_only_frac = 0.0;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *engine::Timeline::parse_event("outage", "start=4 end=6 frac=1.0"));
 
   engine::FleetEngine engine(catalog, 2);

@@ -187,7 +187,9 @@ TEST(FlatConntrackEquivalence, MatchesReferenceTablePerFlow) {
         EXPECT_EQ(ref.close(k, now), flat.close(k, now));
         break;
       case 3:
-        if (step % 500 == 0) EXPECT_EQ(ref.sweep(now), flat.sweep(now));
+        if (step % 500 == 0) {
+          EXPECT_EQ(ref.sweep(now), flat.sweep(now));
+        }
         break;
     }
     ASSERT_EQ(ref.live_count(), flat.live_count()) << "step " << step;

@@ -298,7 +298,7 @@ std::vector<engine::FleetConfig> variant_configs(int variants) {
       fix.start_day = 1;
       fix.end_day = cfg.days - 1;
       fix.fraction = static_cast<double>(v) / variants;
-      cfg.timeline.events.push_back(fix);
+      cfg.timeline->events.push_back(fix);
     }
     cfgs.push_back(std::move(cfg));
   }

@@ -285,7 +285,7 @@ TEST(ScenarioPipeline, TimelineChangeKeepsSampleCached) {
   p1.run(&cache);
 
   auto variant = base;
-  variant.timeline.events.push_back(fix_event(0.5));
+  variant.timeline->events.push_back(fix_event(0.5));
   Pipeline p2 = core::make_scenario_pipeline(variant, catalog);
   auto stats = p2.run(&cache);
 
@@ -306,7 +306,7 @@ TEST(ScenarioPipeline, SeedChangeRerunsEverything) {
   p1.run(&cache);
 
   auto reseeded = small_config();
-  reseeded.seed += 1;
+  reseeded.seed.mut() += 1;
   Pipeline p2 = core::make_scenario_pipeline(reseeded, catalog);
   auto stats = p2.run(&cache);
   EXPECT_EQ(stats.cached, 0u);
@@ -323,7 +323,7 @@ TEST(ScenarioPipeline, ReplaceScenarioConfigDirtiesInPlace) {
   EXPECT_EQ(pipe.executions("sample"), 1u);
 
   auto variant = base;
-  variant.timeline.events.push_back(fix_event(0.25));
+  variant.timeline->events.push_back(fix_event(0.25));
   core::replace_scenario_config(pipe, variant, catalog);
   auto stats = pipe.run(&cache);
   // In-place dirty sweep: same pipeline object, sample still cached (its
@@ -341,7 +341,7 @@ TEST(ScenarioPipeline, WhatIfForestSamplesBaseExactlyOnce) {
   std::vector<std::unique_ptr<Pipeline>> pipes;
   for (int v = 0; v < 5; ++v) {
     auto cfg = base;
-    if (v > 0) cfg.timeline.events.push_back(fix_event(0.2 * v));
+    if (v > 0) cfg.timeline->events.push_back(fix_event(0.2 * v));
     pipes.push_back(std::make_unique<Pipeline>(
         core::make_scenario_pipeline(cfg, catalog)));
     pipes.back()->run(&cache);

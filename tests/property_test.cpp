@@ -188,8 +188,11 @@ TEST_P(Seeded, RegistrableDomainIsIdempotent) {
   for (int i = 0; i < 200; ++i) {
     std::string host;
     int labels = 1 + static_cast<int>(rng_.below(4));
-    for (int l = 0; l < labels; ++l)
-      host += "l" + std::to_string(rng_.below(50)) + ".";
+    for (int l = 0; l < labels; ++l) {
+      host += "l";
+      host += std::to_string(rng_.below(50));
+      host += ".";
+    }
     host += kTlds[rng_.below(std::size(kTlds))];
     auto reg = psl.registrable_domain(host);
     ASSERT_TRUE(reg.has_value()) << host;

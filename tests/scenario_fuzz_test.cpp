@@ -52,8 +52,8 @@ TEST(ScenarioFuzz, GeneratorCoversTheEventGrammar) {
   for (std::uint64_t seed = 0; seed < 400; ++seed) {
     auto cfg = engine::FleetConfig::parse(engine::generate_scenario_text(seed));
     ASSERT_TRUE(cfg.has_value());
-    modes.insert(cfg->arrival.mode);
-    for (const auto& ev : cfg->timeline.events) {
+    modes.insert(cfg->arrival->mode);
+    for (const auto& ev : cfg->timeline->events) {
       kinds.insert(engine::to_string(ev.kind));
       if (ev.start_day == ev.end_day) saw_day = true;
       else if (ev.end_day == std::numeric_limits<int>::max()) saw_open = true;

@@ -127,12 +127,13 @@ std::string canonical_serialize(const ScenarioRun& run) {
 
   const auto& cfg = run.cfg;
   append(out, "scenario residences=%d days=%d seed=%" PRIu64 " events=%zu",
-         cfg.residences, cfg.days, cfg.seed, cfg.timeline.events.size());
+         cfg.residences.get(), cfg.days.get(), cfg.seed.get(),
+         cfg.timeline->events.size());
   // Open-loop runs name their arrival process in the header; batch runs
   // keep the original line so every pre-existing golden stays byte-exact.
-  if (cfg.arrival.mode != traffic::ArrivalMode::batch) {
+  if (cfg.arrival->mode != traffic::ArrivalMode::batch) {
     append(out, " arrival=%s ticks_per_hour=%d",
-           traffic::to_string(cfg.arrival.mode), cfg.arrival.ticks_per_hour);
+           traffic::to_string(cfg.arrival->mode), cfg.arrival->ticks_per_hour);
   }
   out += '\n';
 
@@ -346,7 +347,7 @@ std::optional<std::string> fuzz_check_scenario(
     windows.push_back({days / 2, days - 1});
   }
   for (int d : {0, days / 2, days - 1}) windows.push_back({d, d});
-  for (const auto& ev : cfg->timeline.events) {
+  for (const auto& ev : cfg->timeline->events) {
     const int first = std::clamp(ev.start_day, 0, days - 1);
     const int last = std::clamp(ev.end_day, first, days - 1);
     windows.push_back({first, last});

@@ -74,11 +74,11 @@ TEST(TimelineParse, FleetConfigTimelineSection) {
       "timeline.outage = start=2 end=28 frac=0.1 len=3\n"
       "timeline.seasonal = amp=0.25 period=14\n");
   ASSERT_TRUE(cfg.has_value());
-  ASSERT_EQ(cfg->timeline.events.size(), 4u);
-  EXPECT_EQ(cfg->timeline.events[0].kind, TimelineEventKind::rollout_wave);
-  EXPECT_EQ(cfg->timeline.events[1].kind, TimelineEventKind::outage);
-  EXPECT_EQ(cfg->timeline.events[2].duration_days, 3);
-  EXPECT_EQ(cfg->timeline.events[3].kind, TimelineEventKind::seasonal);
+  ASSERT_EQ(cfg->timeline->events.size(), 4u);
+  EXPECT_EQ(cfg->timeline->events[0].kind, TimelineEventKind::rollout_wave);
+  EXPECT_EQ(cfg->timeline->events[1].kind, TimelineEventKind::outage);
+  EXPECT_EQ(cfg->timeline->events[2].duration_days, 3);
+  EXPECT_EQ(cfg->timeline->events[3].kind, TimelineEventKind::seasonal);
 
   // Bad event lines fail the whole config parse.
   EXPECT_FALSE(FleetConfig::parse("timeline.outage = start=9 end=1\n"));
@@ -157,7 +157,9 @@ TEST(TimelineDayStateTest, PureFunctionOfSeedIndexDay) {
     bool was_v6 = false;
     for (int d = 0; d < days; ++d) {
       auto s = probe(i, d);
-      if (was_v6) EXPECT_TRUE(s.isp_v6) << "rollback at i=" << i << " d=" << d;
+      if (was_v6) {
+        EXPECT_TRUE(s.isp_v6) << "rollback at i=" << i << " d=" << d;
+      }
       was_v6 = s.isp_v6;
     }
   }
@@ -171,9 +173,9 @@ TEST(TimelineApply, PrefixStableUnderPopulationGrowth) {
   cfg.residences = 12;
   cfg.days = 20;
   cfg.seed = 7;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("rollout_wave", "start=3 end=12 frac=0.7"));
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("outage", "start=8 end=10 frac=0.4"));
 
   auto small = sample_fleet_detailed(cfg, catalog);
@@ -218,7 +220,7 @@ TEST(TimelineApply, LazyMatchesMaterializedOnAllScenarios) {
     apply_timeline(mat, cfg->timeline, cfg->seed, cfg->days,
                    TimelinePlanMode::materialized);
 
-    if (cfg->timeline.empty()) {
+    if (cfg->timeline->empty()) {
       // The static fast path: neither mode installs anything.
       for (const auto& c : lazy.configs) {
         EXPECT_TRUE(c.day_plan.empty());
@@ -267,16 +269,16 @@ TEST(TimelineApply, LazyFallsBackToStaticOutsideTheHorizon) {
   cfg.residences = 6;
   cfg.days = 12;
   cfg.seed = 31;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("nat64_migration", "start=2 frac=1.0"));
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("seasonal", "amp=0.5 period=7"));
 
   auto fleet = sample_fleet_detailed(cfg, catalog);
   apply_timeline(fleet, cfg.timeline, cfg.seed, cfg.days);
   for (const auto& c : fleet.configs) {
     ASSERT_TRUE(c.day_plan_fn);
-    for (int day : {-1, cfg.days, cfg.days + 1, cfg.days + 300})
+    for (int day : {-1, cfg.days.get(), cfg.days + 1, cfg.days + 300})
       EXPECT_EQ(c.day_plan_fn(day), traffic::kStaticDayPlan) << day;
     // Inside the horizon the migration is in force (frac=1.0, day 2+).
     EXPECT_TRUE(c.day_plan_fn(cfg.days - 1).nat64);
@@ -306,7 +308,7 @@ TEST(TimelineBehaviour, RolloutWaveRaisesPostWindowV6) {
   cfg.seed = 42;
   cfg.dual_stack_isp_frac = 0.0;  // nobody starts with IPv6
   cfg.broken_v6_frac = 0.0;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("rollout_wave", "start=10 end=10 frac=1.0"));
 
   FleetEngine engine(catalog, 2);
@@ -345,7 +347,7 @@ TEST(TimelineBehaviour, OutageSilencesExternalTrafficOnly) {
   cfg.days = 9;
   cfg.seed = 5;
   cfg.background_only_frac = 0.0;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("outage", "start=3 end=5 frac=1.0"));
 
   FleetEngine engine(catalog, 2);
@@ -378,7 +380,7 @@ TEST(TimelineBehaviour, Nat64MakesWanAllV6) {
   cfg.days = 8;
   cfg.seed = 11;
   cfg.broken_v6_frac = 0.0;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("nat64_migration", "day=4 frac=1.0"));
 
   FleetEngine engine(catalog, 2);
@@ -407,12 +409,12 @@ TEST(TimelineBehaviour, SeasonalScalesActivityUpAndDown) {
   cfg.absence_prob = 0.0;
   // period=28: days 0-13 get the positive half-sine, days 14-27 the
   // negative half.
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("seasonal", "start=0 end=27 amp=0.9 period=28"));
 
   FleetEngine engine(catalog, 2);
   auto with = engine.run(cfg);
-  cfg.timeline.events.clear();
+  cfg.timeline->events.clear();
   auto without = engine.run(cfg);
 
   auto day_flows = [](const engine::FleetResult& r, int lo, int hi) {
@@ -506,8 +508,12 @@ TEST(TimelineDayStateTest, PrefixRenumberStacksEpochsPermanently) {
       auto s = timeline_day_state(tl, 99, index, day, 20, base);
       EXPECT_GE(s.prefix_epoch, prev) << "epoch rolled back";
       prev = s.prefix_epoch;
-      if (day < 5) EXPECT_EQ(s.prefix_epoch, 0);
-      if (day >= 10) EXPECT_EQ(s.prefix_epoch, 2);  // both rotations landed
+      if (day < 5) {
+        EXPECT_EQ(s.prefix_epoch, 0);
+      }
+      if (day >= 10) {
+        EXPECT_EQ(s.prefix_epoch, 2);  // both rotations landed
+      }
     }
   }
 }
@@ -562,11 +568,11 @@ TEST(TimelineApply, DayPlanCarriesAdversarialState) {
   cfg.residences = 6;
   cfg.days = 12;
   cfg.seed = 21;
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("prefix_renumber", "day=3"));
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("service_outage", "start=4 end=8 svc=2"));
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("cgn_exhaustion", "start=6 end=9 ports=40"));
 
   auto fleet = sample_fleet_detailed(cfg, catalog);
@@ -589,7 +595,7 @@ TEST(TimelineBehaviour, ServiceOutageRejectsSessionsInWindowOnly) {
   cfg.days = 12;
   cfg.seed = 5;
   // Popular service index 0 down for days 4..7 everywhere.
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("service_outage", "start=4 end=7 svc=0"));
 
   FleetEngine engine(catalog, 2);
@@ -614,7 +620,7 @@ TEST(TimelineBehaviour, CgnExhaustionFailsV4SessionsAboveBudget) {
   cfg.days = 10;
   cfg.seed = 11;
   cfg.dual_stack_isp_frac = 0.0;  // all-v4 fleet: every WAN session is CGN'd
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("cgn_exhaustion", "start=5 end=9 ports=10"));
 
   FleetEngine engine(catalog, 2);
@@ -626,7 +632,7 @@ TEST(TimelineBehaviour, CgnExhaustionFailsV4SessionsAboveBudget) {
 
   // An unconstrained rerun has no CGN failures at all.
   FleetConfig open = cfg;
-  open.timeline.events.clear();
+  open.timeline->events.clear();
   auto baseline = engine.run(open);
   EXPECT_EQ(baseline.totals.cgn_failures, 0u);
 }
@@ -639,7 +645,7 @@ TEST(TimelineBehaviour, DeviceTurnoverRaisesV6UseInBrokenHomes) {
   cfg.seed = 13;
   cfg.dual_stack_isp_frac = 1.0;
   cfg.broken_v6_frac = 1.0;  // every home starts with flaky device IPv6
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("device_turnover", "start=8 end=15 rate=1"));
 
   FleetEngine engine(catalog, 2);
@@ -660,7 +666,7 @@ TEST(TimelineBehaviour, CpeFixHealsBrokenHomes) {
   cfg.seed = 17;
   cfg.dual_stack_isp_frac = 1.0;
   cfg.broken_v6_frac = 1.0;  // everyone starts broken
-  cfg.timeline.events.push_back(
+  cfg.timeline->events.push_back(
       *Timeline::parse_event("cpe_fix", "day=8 frac=1.0"));
 
   FleetEngine engine(catalog, 2);

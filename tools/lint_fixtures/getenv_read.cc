@@ -1,0 +1,6 @@
+// nbv6-lint-fixture: expect(getenv)
+// Not compiled: lint fixture only. Environment-dependent behavior makes
+// goldens machine-dependent; config belongs in files and flags.
+#include <cstdlib>
+
+const char* ambient_config() { return std::getenv("NBV6_SECRET_KNOB"); }

@@ -1,0 +1,13 @@
+// nbv6-lint-fixture: expect(purity-comment)
+// Not compiled: lint fixture only. A raw draw site with no documentation
+// of the coordinate fold that makes it evaluation-order-independent.
+#include <cstdint>
+
+namespace stats {
+std::uint64_t splitmix64(std::uint64_t& state);
+}
+
+double undocumented_draw(std::uint64_t seed, int index) {
+  std::uint64_t state = seed ^ static_cast<std::uint64_t>(index);
+  return static_cast<double>(stats::splitmix64(state) >> 11) * 0x1.0p-53;
+}

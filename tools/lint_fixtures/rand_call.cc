@@ -1,0 +1,10 @@
+// nbv6-lint-fixture: expect(rand)
+// Not compiled: lint fixture only. The C global RNG carries hidden process
+// state; note the comment mentioning rand() must NOT trip the stripped
+// scan — only these two call sites may.
+#include <cstdlib>
+
+int hidden_state_draw() {
+  std::srand(42);
+  return std::rand();
+}

@@ -1,0 +1,9 @@
+// nbv6-lint-fixture: expect(random-device)
+// Not compiled: lint fixture only. Seeding from entropy is the canonical
+// determinism bug — two runs of the same config diverge.
+#include <random>
+
+unsigned entropy_seed() {
+  std::random_device rd;
+  return rd();
+}

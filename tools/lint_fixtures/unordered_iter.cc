@@ -1,0 +1,13 @@
+// nbv6-lint-fixture: expect(unordered-iter)
+// Not compiled: lint fixture only. Range-for over an unordered container
+// in a canonical-serialization context: iteration order is
+// implementation-defined, so the serialized bytes are too.
+#include <string>
+#include <unordered_map>
+
+std::string serialize_counts(const std::unordered_map<std::string, int>& by_name) {
+  std::unordered_map<std::string, int> counts = by_name;
+  std::string out;
+  for (const auto& kv : counts) out += kv.first + "\n";
+  return out;
+}

@@ -1,0 +1,12 @@
+// nbv6-lint-fixture: expect(wall-clock)
+// Not compiled: lint fixture only. All three wall-clock shapes the rule
+// covers; "steady_clock" in this comment must not count.
+#include <chrono>
+#include <ctime>
+
+long three_clock_reads() {
+  auto a = std::chrono::system_clock::now().time_since_epoch().count();
+  auto b = std::chrono::steady_clock::now().time_since_epoch().count();
+  auto c = static_cast<long>(time(nullptr));
+  return static_cast<long>(a) + static_cast<long>(b) + c;
+}
